@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper figure (or an ablation) and
+
+* asserts the paper's qualitative shape (who wins, where curves turn),
+* writes the rendered table to ``benchmarks/results/<name>.txt``,
+* attaches headline numbers to pytest-benchmark's ``extra_info``.
+
+Set ``REPRO_PAPER_SCALE=1`` to run on the full 10,000-router topology and
+``REPRO_BENCH_RUNS`` to override repetition counts (the paper uses 100
+runs for Figures 5/6).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentEnv
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def bench_runs(default: int = 30) -> int:
+    """Repetitions for the statistical sweeps (paper: 100)."""
+    return int(os.environ.get("REPRO_BENCH_RUNS", default))
+
+
+def paper_scale() -> bool:
+    return os.environ.get("REPRO_PAPER_SCALE", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def env128():
+    """The paper's subscriber population over the shared topology."""
+    return ExperimentEnv(n_hosts=128, seed=0, paper_scale=paper_scale())
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Writer for rendered figure tables (one .txt per benchmark)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,102 @@
+"""A2 — sequencing atoms vs centralized sequencer vs propagation trees.
+
+Validates the paper's scalability positioning (Sections 1, 2, 4.3):
+
+* a centralized coordinator processes *every* message in the system,
+  while the busiest sequencing atom handles only the traffic of its
+  overlapped groups — the gap grows with unrelated traffic;
+* Garcia-Molina/Spauster propagation trees make destination hosts forward
+  and order messages for groups they may not subscribe to; the busiest
+  host forwards a large share of all messages.
+"""
+
+import random
+
+from repro.baselines.central_sequencer import CentralSequencerFabric
+from repro.baselines.propagation_tree import PropagationTreeFabric
+from repro.experiments.common import format_table
+from repro.workloads.zipf import zipf_membership
+
+N_GROUPS = 16
+N_MESSAGES = 300
+
+
+def run_comparison(env, seed=0):
+    rng = random.Random(seed)
+    snapshot = zipf_membership(env.n_hosts, N_GROUPS, rng=rng)
+    sends = []
+    groups = sorted(snapshot)
+    for _ in range(N_MESSAGES):
+        group = rng.choice(groups)
+        sender = rng.choice(sorted(snapshot[group]))
+        sends.append((sender, group))
+
+    membership = env.membership_from(snapshot)
+    ours = env.build_fabric(membership, seed=seed, trace=False)
+    central = CentralSequencerFabric(
+        env.membership_from(snapshot), env.hosts, env.routing, trace=False
+    )
+    tree = PropagationTreeFabric(
+        env.membership_from(snapshot), env.hosts, env.routing, trace=False
+    )
+    for fabric in (ours, central, tree):
+        for sender, group in sends:
+            fabric.publish(sender, group)
+        fabric.run()
+
+    max_atom_load = max(
+        r.messages_sequenced + r.messages_passed_through
+        for p in ours.node_processes.values()
+        for r in p.atom_runtimes.values()
+    )
+    max_node_load = max(ours.sequencing_load().values())
+    coordinator_load = central.coordinator_load()
+    max_tree_forwarding = max(tree.forwarding_load().values())
+
+    def mean_latency(fabric):
+        total, count = 0.0, 0
+        for host in range(env.n_hosts):
+            for record in fabric.delivered(host):
+                total += record.time - record.publish_time
+                count += 1
+        return total / count
+
+    return {
+        "max_atom_load": max_atom_load,
+        "max_seqnode_load": max_node_load,
+        "coordinator_load": coordinator_load,
+        "max_tree_forwarding": max_tree_forwarding,
+        "latency_ours": mean_latency(ours),
+        "latency_central": mean_latency(central),
+        "latency_tree": mean_latency(tree),
+    }
+
+
+def test_baseline_comparison(benchmark, env128, save_result):
+    stats = benchmark.pedantic(
+        run_comparison, args=(env128,), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["metric", "value"],
+        sorted(stats.items()),
+        title=(
+            f"A2: load and latency, {N_MESSAGES} messages over {N_GROUPS} "
+            "Zipf groups, 128 hosts"
+        ),
+    )
+    save_result("a2_baselines", table)
+    benchmark.extra_info.update(
+        {k: round(v, 2) for k, v in stats.items()}
+    )
+
+    # The coordinator is the bottleneck: it sequences every message.
+    assert stats["coordinator_load"] == N_MESSAGES
+    # No sequencing atom (or even co-located node) comes close.
+    assert stats["max_atom_load"] < N_MESSAGES
+    assert stats["max_seqnode_load"] <= N_MESSAGES
+    # Propagation trees push heavy forwarding onto the busiest host.
+    assert stats["max_tree_forwarding"] > 0
+    # Mean delivery latencies are in the same order of magnitude: the
+    # decentralized design does not explode latency relative to the
+    # centralized foil.
+    assert stats["latency_ours"] < 10 * stats["latency_central"]

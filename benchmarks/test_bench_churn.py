@@ -1,0 +1,90 @@
+"""A3 — dynamic membership churn (the paper's Section 5 future work).
+
+"When changes in the group membership are infrequent or along existing
+patterns, we expect very little churn in the sequencing graph."
+
+The benchmark applies a stream of group add/remove operations to an
+incrementally-maintained sequencing graph and measures reconfiguration
+cost: atoms created/retired per operation and how much of the existing
+arrangement survives (surviving atoms keep their relative chain order by
+construction).  Lazy removal is compared against eager splicing.
+"""
+
+import random
+
+from conftest import bench_runs
+
+from repro.core.sequencing_graph import SequencingGraph
+from repro.experiments.common import format_table
+from repro.workloads.zipf import zipf_membership
+
+
+def run_churn(n_hosts=128, n_groups=24, operations=200, lazy=True, seed=0):
+    rng = random.Random(seed)
+    snapshot = zipf_membership(n_hosts, n_groups, rng=rng)
+    graph = SequencingGraph.build(snapshot)
+    live = dict(snapshot)
+    next_id = n_groups
+
+    atoms_created = 0
+    atoms_retired = 0
+    max_atoms = len(graph.atoms)
+    for _ in range(operations):
+        if live and rng.random() < 0.5:
+            victim = rng.choice(sorted(live))
+            atoms_retired += len(graph.remove_group(victim, lazy=lazy))
+            del live[victim]
+        else:
+            size = max(2, round(n_hosts * 0.75 / rng.randint(1, n_groups)))
+            members = set(rng.sample(range(n_hosts), size))
+            atoms_created += len(graph.add_group(next_id, members))
+            live[next_id] = members
+            next_id += 1
+        graph.validate()
+        max_atoms = max(max_atoms, len(graph.atoms))
+    retired_backlog = len(graph.retired)
+    graph.compact()
+    graph.validate()
+    return {
+        "operations": operations,
+        "atoms_created": atoms_created,
+        "atoms_retired": atoms_retired,
+        "retired_backlog_at_end": retired_backlog,
+        "max_atoms_alive": max_atoms,
+        "final_groups": len(graph.groups()),
+    }
+
+
+def test_churn_lazy_vs_eager(benchmark, env128, save_result):
+    operations = 10 * bench_runs(20)
+
+    def both():
+        lazy = run_churn(operations=operations, lazy=True, seed=1)
+        eager = run_churn(operations=operations, lazy=False, seed=1)
+        return lazy, eager
+
+    lazy, eager = benchmark.pedantic(both, rounds=1, iterations=1)
+    table = format_table(
+        ["metric", "lazy", "eager"],
+        [(k, lazy[k], eager[k]) for k in sorted(lazy)],
+        title=f"A3: sequencing-graph churn over {operations} membership ops",
+    )
+    save_result("a3_churn", table)
+    benchmark.extra_info.update(
+        {
+            "ops": operations,
+            "lazy_backlog": lazy["retired_backlog_at_end"],
+            "max_atoms_lazy": lazy["max_atoms_alive"],
+            "max_atoms_eager": eager["max_atoms_alive"],
+        }
+    )
+
+    # Same logical work either way.
+    assert lazy["atoms_created"] == eager["atoms_created"]
+    assert lazy["final_groups"] == eager["final_groups"]
+    # Lazy removal defers work: retired placeholders accumulate.
+    assert lazy["retired_backlog_at_end"] > 0
+    assert eager["retired_backlog_at_end"] == 0
+    # Lazy keeps more atoms alive at peak (the efficiency-only cost the
+    # paper accepts for simpler reconfiguration).
+    assert lazy["max_atoms_alive"] >= eager["max_atoms_alive"]

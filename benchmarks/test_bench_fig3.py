@@ -1,0 +1,32 @@
+"""Figure 3 benchmark — CDF of latency stretch (128 hosts, 8–64 groups).
+
+Shape asserted (paper Section 4.2): stretch grows with the number of
+groups but sub-linearly — going from 8 to 64 groups must grow the typical
+stretch by well under 8x.
+"""
+
+from repro.experiments import fig3_latency_stretch as fig3
+from repro.metrics.stats import percentile
+
+
+def test_fig3_latency_stretch(benchmark, env128, save_result):
+    results = benchmark.pedantic(
+        fig3.run_fig3, args=(env128,), kwargs={"group_counts": (8, 16, 32, 64)},
+        rounds=1, iterations=1,
+    )
+    table = fig3.render(results)
+    save_result("fig3_latency_stretch", table)
+
+    p50 = {g: percentile(v, 50) for g, v in results.items()}
+    p90 = {g: percentile(v, 90) for g, v in results.items()}
+    benchmark.extra_info.update(
+        {f"p50_stretch_{g}groups": round(p50[g], 2) for g in p50}
+    )
+
+    # Stretch is a real penalty (>1) but bounded.
+    assert all(p50[g] > 1.0 for g in p50)
+    # Sub-linear growth: 8x groups produces far less than 8x stretch.
+    assert p50[64] < 8 * p50[8]
+    assert p90[64] < 8 * p90[8]
+    # More groups never make ordering dramatically cheaper.
+    assert p50[64] >= 0.5 * p50[8]

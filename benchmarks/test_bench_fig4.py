@@ -1,0 +1,34 @@
+"""Figure 4 benchmark — RDP vs unicast delay (128 hosts, 64 groups).
+
+Shape asserted (paper Section 4.2): "The highest values for RDP
+correspond to the pairs in which the sender and the destination are very
+close to each other" — max and mean RDP decrease from the closest delay
+bin to the farthest.
+"""
+
+from repro.experiments import fig4_rdp as fig4
+
+
+def test_fig4_rdp_vs_unicast(benchmark, env128, save_result):
+    points = benchmark.pedantic(
+        fig4.run_fig4, args=(env128,), kwargs={"n_groups": 64},
+        rounds=1, iterations=1,
+    )
+    table = fig4.render(points)
+    save_result("fig4_rdp", table)
+
+    rows = fig4.bin_points(points, n_bins=8)
+    assert len(rows) >= 3
+    closest, farthest = rows[0], rows[-1]
+    benchmark.extra_info.update(
+        {
+            "pairs": len(points),
+            "max_rdp_closest_bin": round(closest[4], 2),
+            "max_rdp_farthest_bin": round(farthest[4], 2),
+        }
+    )
+    # Close pairs pay the largest relative penalty.
+    assert closest[4] > farthest[4]
+    assert closest[3] > farthest[3]
+    # Far pairs pay only a small constant factor.
+    assert farthest[3] < 5.0

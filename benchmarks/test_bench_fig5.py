@@ -1,0 +1,44 @@
+"""Figure 5 benchmark — sequencing nodes vs number of groups.
+
+Shape asserted (paper Section 4.3): the number of (non-ingress-only)
+sequencing nodes grows with the number of groups, and growth turns more
+gradual past ~30 groups (per-group increments shrink).
+"""
+
+from conftest import bench_runs
+
+from repro.experiments import fig5_sequencing_nodes as fig5
+
+GROUP_COUNTS = (1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64)
+
+
+def test_fig5_sequencing_nodes(benchmark, env128, save_result):
+    runs = bench_runs()
+    results = benchmark.pedantic(
+        fig5.run_fig5,
+        args=(env128,),
+        kwargs={"group_counts": GROUP_COUNTS, "runs": runs},
+        rounds=1,
+        iterations=1,
+    )
+    table = fig5.render(results)
+    save_result("fig5_sequencing_nodes", table)
+
+    mean = {g: sum(v) / len(v) for g, v in results.items()}
+    benchmark.extra_info.update(
+        {
+            "runs": runs,
+            "mean_nodes_8groups": round(mean[8], 1),
+            "mean_nodes_32groups": round(mean[32], 1),
+            "mean_nodes_64groups": round(mean[64], 1),
+        }
+    )
+    # Monotone-ish growth with group count.
+    assert mean[64] > mean[8] > mean[1]
+    # Growth turns gradual: per-group increment after 32 groups is smaller
+    # than before 32 groups.
+    early_rate = (mean[32] - mean[8]) / (32 - 8)
+    late_rate = (mean[64] - mean[32]) / (64 - 32)
+    assert late_rate < early_rate
+    # Node count stays far below the overlap count (co-location works).
+    assert mean[64] < 64

@@ -1,0 +1,41 @@
+"""Figure 6 benchmark — sequencing-node stress vs number of groups.
+
+Shape asserted (paper Section 4.3): average stress starts high with few
+groups (one node forwards everything), drops as nodes are added, and
+settles in the vicinity of 0.2 rather than collapsing to zero.
+"""
+
+from conftest import bench_runs
+
+from repro.experiments import fig6_stress as fig6
+
+GROUP_COUNTS = (2, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64)
+
+
+def test_fig6_stress(benchmark, env128, save_result):
+    runs = bench_runs()
+    results = benchmark.pedantic(
+        fig6.run_fig6,
+        args=(env128,),
+        kwargs={"group_counts": GROUP_COUNTS, "runs": runs},
+        rounds=1,
+        iterations=1,
+    )
+    table = fig6.render(results)
+    save_result("fig6_stress", table)
+
+    mean = {g: sum(v) / len(v) for g, v in results.items() if v}
+    benchmark.extra_info.update(
+        {
+            "runs": runs,
+            "avg_stress_4groups": round(mean[4], 3),
+            "avg_stress_32groups": round(mean[32], 3),
+            "avg_stress_64groups": round(mean[64], 3),
+        }
+    )
+    # Few groups: nodes forward most of them.
+    assert mean[4] > 0.5
+    # Stress decreases as the sequencing network grows...
+    assert mean[32] < mean[4]
+    # ...but stabilizes: it never collapses to (near) zero.
+    assert mean[64] > 0.05

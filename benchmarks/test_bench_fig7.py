@@ -1,0 +1,40 @@
+"""Figure 7 benchmark — atoms on a message path / total nodes.
+
+Shape asserted (paper Section 4.4): "In the worst case, the number of
+sequencing atoms in the path of a message is less than half of the total
+number of nodes that participate", the CDF shifts right with more groups,
+and the per-message stamp stays cheaper than a system-wide vector
+timestamp (nodes > groups regime).
+"""
+
+from conftest import bench_runs
+
+from repro.experiments import fig7_atoms_on_path as fig7
+
+GROUP_COUNTS = (8, 16, 32, 64)
+
+
+def test_fig7_atoms_on_path(benchmark, env128, save_result):
+    runs = max(5, bench_runs() // 3)
+    results = benchmark.pedantic(
+        fig7.run_fig7,
+        args=(env128,),
+        kwargs={"group_counts": GROUP_COUNTS, "runs": runs},
+        rounds=1,
+        iterations=1,
+    )
+    table = fig7.render(results)
+    save_result("fig7_atoms_on_path", table)
+
+    worst = {g: max(v) for g, v in results.items()}
+    benchmark.extra_info.update(
+        {f"worst_ratio_{g}groups": round(worst[g], 3) for g in worst}
+    )
+    # The paper's headline bound.
+    assert all(w < 0.5 for w in worst.values())
+    # More groups -> more overlaps per group (CDF shifts right).
+    assert worst[64] > worst[8]
+    # Path length in atoms is bounded by the number of groups.
+    n_hosts = env128.n_hosts
+    for n_groups, values in results.items():
+        assert max(values) * n_hosts <= n_groups

@@ -1,0 +1,48 @@
+"""Figure 8 benchmark — sequencing nodes & double overlaps vs occupancy.
+
+Shapes asserted (paper Section 4.5): double overlaps rise with occupancy
+until every pair overlaps; the number of sequencing nodes peaks around
+0.2 occupancy, declines afterwards, and collapses to one when occupancy
+exceeds ~0.9 (every overlap includes the whole population).
+"""
+
+from conftest import bench_runs
+
+from repro.experiments import fig8_occupancy as fig8
+
+OCCUPANCIES = tuple(x / 20 for x in range(1, 21))
+
+
+def test_fig8_occupancy(benchmark, env128, save_result):
+    runs = max(3, bench_runs() // 5)
+    results = benchmark.pedantic(
+        fig8.run_fig8,
+        args=(env128,),
+        kwargs={"n_groups": 32, "occupancies": OCCUPANCIES, "runs": runs},
+        rounds=1,
+        iterations=1,
+    )
+    table = fig8.render(results)
+    save_result("fig8_occupancy", table)
+
+    overlaps = {occ: results[occ][0] for occ in results}
+    nodes = {occ: results[occ][1] for occ in results}
+    peak_occ = max(nodes, key=lambda occ: nodes[occ])
+    benchmark.extra_info.update(
+        {
+            "runs": runs,
+            "node_peak_occupancy": peak_occ,
+            "nodes_at_peak": round(nodes[peak_occ], 1),
+            "nodes_at_full": nodes[1.0],
+        }
+    )
+    # Overlaps saturate at the full pair count.
+    assert overlaps[1.0] == 32 * 31 / 2
+    assert overlaps[0.05] < overlaps[0.5]
+    # Sequencing nodes peak at low-moderate occupancy...
+    assert 0.05 <= peak_occ <= 0.35
+    # ...decline beyond the peak...
+    assert nodes[0.6] < nodes[peak_occ]
+    # ...and collapse to one at (near-)full occupancy.
+    assert nodes[1.0] == 1
+    assert nodes[0.95] <= 4

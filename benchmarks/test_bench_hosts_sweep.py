@@ -1,0 +1,37 @@
+"""A7 — host-population sweep (paper §4.1 varies hosts 32→128).
+
+Shape asserted: with the group count fixed, growing the population keeps
+the worst atoms-on-path ratio falling (the §4.4 "attractive whenever the
+number of nodes exceeds the number of groups" regime) while node counts
+stay modest.
+"""
+
+from conftest import bench_runs
+
+from repro.experiments import hosts_sweep
+
+
+def test_hosts_sweep(benchmark, save_result):
+    runs = max(5, bench_runs() // 5)
+    results = benchmark.pedantic(
+        hosts_sweep.run_hosts_sweep, kwargs={"runs": runs}, rounds=1, iterations=1
+    )
+    table = hosts_sweep.render(results)
+    save_result("a7_hosts_sweep", table)
+
+    benchmark.extra_info.update(
+        {
+            f"worst_ratio_{n}hosts": round(results[n]["worst_atoms_ratio"], 3)
+            for n in results
+        }
+    )
+    # Per-message stamp overhead (relative to population) falls as hosts
+    # grow past the fixed group count.
+    assert results[128]["worst_atoms_ratio"] < results[32]["worst_atoms_ratio"]
+    # The stamp ratio stays below the vector-timestamp break-even (0.5 of
+    # the population would already be generous; the bound is groups/hosts).
+    for n_hosts, row in results.items():
+        assert row["worst_atoms_ratio"] <= 16 / n_hosts  # <= groups / hosts
+    # Stretch stays in the same band across populations (no blow-up).
+    stretches = [row["p50_stretch"] for row in results.values()]
+    assert max(stretches) < 4 * min(stretches)

@@ -1,0 +1,81 @@
+"""A1 — per-message ordering-metadata overhead vs vector timestamps.
+
+Validates the paper's Sections 2 / 4.4 claims: the stamp a message
+carries is proportional to the number of its group's overlaps (bounded by
+the group count), never to the group size or node population, so the
+sequencing approach beats system-wide vector timestamps whenever nodes
+outnumber groups — and beats even per-group vector timestamps for large
+groups.
+"""
+
+import random
+
+from conftest import bench_runs
+
+from repro.core.messages import (
+    ATOM_ENTRY_BYTES,
+    HEADER_BYTES,
+    VECTOR_ENTRY_BYTES,
+    vector_timestamp_bytes,
+)
+from repro.experiments.common import format_table
+from repro.metrics.overhead import stamp_overhead_bytes
+from repro.workloads.zipf import zipf_membership
+
+
+def run_overhead(env, group_counts=(8, 16, 32, 64), runs=10):
+    rows = []
+    n_hosts = env.n_hosts
+    for n_groups in group_counts:
+        worst_stamp = 0
+        total_stamp = 0
+        total_groups = 0
+        group_vector_worst = 0
+        for run in range(runs):
+            snapshot = zipf_membership(n_hosts, n_groups, rng=random.Random(run))
+            graph = env.build_graph(snapshot, seed=run)
+            overhead = stamp_overhead_bytes(graph)
+            worst_stamp = max(worst_stamp, max(overhead.values()))
+            total_stamp += sum(overhead.values())
+            total_groups += len(overhead)
+            group_vector_worst = max(
+                group_vector_worst,
+                HEADER_BYTES
+                + VECTOR_ENTRY_BYTES * max(len(m) for m in snapshot.values()),
+            )
+        rows.append(
+            (
+                n_groups,
+                total_stamp / total_groups,
+                worst_stamp,
+                group_vector_worst,
+                vector_timestamp_bytes(n_hosts),
+            )
+        )
+    return rows
+
+
+def test_overhead_vs_vector_timestamps(benchmark, env128, save_result):
+    rows = benchmark.pedantic(
+        run_overhead, args=(env128,), kwargs={"runs": bench_runs(10)},
+        rounds=1, iterations=1,
+    )
+    table = format_table(
+        ["groups", "mean_stamp_B", "worst_stamp_B", "group_vector_B", "dense_vector_B"],
+        rows,
+        title="A1: ordering metadata bytes per message (128 hosts)",
+    )
+    save_result("a1_overhead", table)
+
+    for n_groups, _mean_stamp, worst_stamp, group_vector, dense_vector in rows:
+        # Stamp entries bounded by the group count.
+        assert worst_stamp <= HEADER_BYTES + ATOM_ENTRY_BYTES * (n_groups - 1)
+        # The headline: cheaper than system-wide vector timestamps while
+        # nodes outnumber groups.
+        assert worst_stamp < dense_vector
+        benchmark.extra_info[f"worst_stamp_{n_groups}groups_B"] = worst_stamp
+    # For the Zipf workload the biggest group is ~0.75*128 members, so even
+    # per-group vectors are heavier than the worst stamp at small group
+    # counts.
+    n_groups, _m, worst_stamp, group_vector, _d = rows[0]
+    assert worst_stamp < group_vector

@@ -1,0 +1,124 @@
+"""A5 — saturation throughput: sequencing atoms vs. the central sequencer.
+
+The paper's core scalability claim (Sections 1/4.3): a centralized
+coordinator processes every message, so system throughput is capped by
+one machine, while sequencing atoms split the ordering work so "the
+maximum message load is limited by receivers".  With a per-message
+service time of ``SERVICE_MS`` at each sequencing machine, the
+coordinator saturates at ``1000/SERVICE_MS`` msg/s; the decentralized
+design keeps delivery latency bounded beyond that offered load.
+
+The benchmark sweeps offered load and reports mean delivery latency and
+queue high-water marks for both designs.
+"""
+
+import random
+
+from repro.baselines.central_sequencer import CentralSequencerFabric
+from repro.experiments.common import format_table
+from repro.workloads.zipf import zipf_membership
+
+SERVICE_MS = 1.0
+N_GROUPS = 16
+DURATION_MS = 2_000.0
+#: offered loads in messages/second; the coordinator's capacity is 1000/s
+OFFERED_LOADS = (400, 800, 1600, 3200)
+
+
+def _schedule_publishes(fabric, snapshot, rate_per_s, duration_ms, seed):
+    """Schedule an open-loop arrival process of group-member publishes."""
+    rng = random.Random(seed)
+    groups = sorted(snapshot)
+    interval = 1000.0 / rate_per_s
+    t = 0.0
+    count = 0
+    while t < duration_ms:
+        group = rng.choice(groups)
+        sender = rng.choice(sorted(snapshot[group]))
+        fabric.sim.schedule(t, fabric.publish, sender, group, None)
+        t += interval
+        count += 1
+    return count
+
+
+def _mean_latency(fabric, n_hosts):
+    total, count = 0.0, 0
+    for host in range(n_hosts):
+        for record in fabric.delivered(host):
+            total += record.time - record.publish_time
+            count += 1
+    return total / count if count else float("nan")
+
+
+def run_throughput(env, seed=0):
+    snapshot = zipf_membership(env.n_hosts, N_GROUPS, rng=random.Random(seed))
+    rows = []
+    for rate in OFFERED_LOADS:
+        ours = env.build_fabric(
+            env.membership_from(snapshot),
+            seed=seed,
+            trace=False,
+            service_time=SERVICE_MS,
+        )
+        central = CentralSequencerFabric(
+            env.membership_from(snapshot),
+            env.hosts,
+            env.routing,
+            trace=False,
+            service_time=SERVICE_MS,
+        )
+        sent = _schedule_publishes(ours, snapshot, rate, DURATION_MS, seed)
+        _schedule_publishes(central, snapshot, rate, DURATION_MS, seed)
+        ours.run()
+        central.run()
+        max_queue = max(
+            p.queue_high_water for p in ours.node_processes.values()
+        )
+        rows.append(
+            (
+                rate,
+                sent,
+                _mean_latency(ours, env.n_hosts),
+                _mean_latency(central, env.n_hosts),
+                max_queue,
+                central.coordinator.queue_high_water,
+            )
+        )
+    return rows
+
+
+def test_throughput_saturation(benchmark, env128, save_result):
+    rows = benchmark.pedantic(run_throughput, args=(env128,), rounds=1, iterations=1)
+    table = format_table(
+        [
+            "offered_msg_per_s",
+            "sent",
+            "latency_ours_ms",
+            "latency_central_ms",
+            "max_queue_ours",
+            "queue_central",
+        ],
+        rows,
+        title=(
+            f"A5: throughput with {SERVICE_MS}ms sequencer service time "
+            f"(coordinator capacity = {int(1000 / SERVICE_MS)} msg/s)"
+        ),
+    )
+    save_result("a5_throughput", table)
+
+    by_rate = {row[0]: row for row in rows}
+    benchmark.extra_info.update(
+        {
+            "latency_ours_3200": round(by_rate[3200][2], 1),
+            "latency_central_3200": round(by_rate[3200][3], 1),
+        }
+    )
+
+    # Below coordinator capacity both designs deliver with low latency.
+    assert by_rate[400][2] < 200
+    assert by_rate[400][3] < 200
+    # Past saturation the coordinator's queue and latency blow up ...
+    assert by_rate[3200][3] > 5 * by_rate[400][3]
+    assert by_rate[3200][5] > 100
+    # ... while the decentralized design stays bounded (the crossover):
+    assert by_rate[3200][2] < by_rate[3200][3]

@@ -1,0 +1,82 @@
+"""A8 — topology sensitivity: latency shapes on a flat Waxman underlay.
+
+The paper evaluates on a transit–stub topology.  Re-running the Figure 3
+workload on GT-ITM's *other* family (flat Waxman random graphs) checks
+that the headline shapes — sub-linear stretch growth with group count,
+close pairs paying the largest RDP — are properties of the protocol, not
+artifacts of the transit–stub delay hierarchy.
+"""
+
+import random
+
+from repro.experiments.common import format_table
+from repro.metrics.stats import percentile
+from repro.metrics.stretch import latency_stretch_by_destination, rdp_by_pair
+from repro.core.protocol import OrderingFabric
+from repro.topology.clusters import attach_hosts
+from repro.topology.routing import RoutingTable
+from repro.topology.waxman import WaxmanParams, generate_waxman
+from repro.workloads.zipf import zipf_membership
+from repro.pubsub.membership import GroupMembership
+
+N_HOSTS = 128
+GROUP_COUNTS = (8, 64)
+
+
+def run_waxman(seed=0):
+    topology = generate_waxman(WaxmanParams(n_nodes=400), seed=seed)
+    routing = RoutingTable(topology)
+    hosts = attach_hosts(topology, N_HOSTS, rng=random.Random(seed))
+    rows = []
+    rdp_gap = None
+    for n_groups in GROUP_COUNTS:
+        snapshot = zipf_membership(N_HOSTS, n_groups, rng=random.Random(seed + n_groups))
+        membership = GroupMembership()
+        for group, members in sorted(snapshot.items()):
+            membership.create_group(members, group_id=group)
+        fabric = OrderingFabric(membership, hosts, topology, routing, trace=False)
+        for group in membership.groups():
+            for member in sorted(membership.members(group)):
+                fabric.publish(member, group)
+                fabric.run()
+        assert fabric.pending_messages() == {}
+        stretch = sorted(latency_stretch_by_destination(fabric).values())
+        rows.append(
+            (
+                n_groups,
+                percentile(stretch, 50),
+                percentile(stretch, 90),
+                max(stretch),
+            )
+        )
+        if n_groups == 64:
+            points = rdp_by_pair(fabric)
+            points.sort()
+            quarter = max(1, len(points) // 4)
+            close = max(r for _, r in points[:quarter])
+            far = max(r for _, r in points[-quarter:])
+            rdp_gap = (close, far)
+    return rows, rdp_gap
+
+
+def test_waxman_sensitivity(benchmark, save_result):
+    rows, rdp_gap = benchmark.pedantic(run_waxman, rounds=1, iterations=1)
+    table = format_table(
+        ["groups", "p50_stretch", "p90_stretch", "max_stretch"],
+        rows,
+        title="A8: Figure 3 workload on a flat Waxman topology (128 hosts)",
+    )
+    save_result("a8_waxman", table)
+    by_groups = {row[0]: row for row in rows}
+    benchmark.extra_info.update(
+        {
+            "p50_stretch_8groups": round(by_groups[8][1], 2),
+            "p50_stretch_64groups": round(by_groups[64][1], 2),
+            "rdp_close_max": round(rdp_gap[0], 1),
+            "rdp_far_max": round(rdp_gap[1], 1),
+        }
+    )
+    # Sub-linear growth holds off the transit-stub hierarchy too.
+    assert by_groups[64][1] < 8 * by_groups[8][1]
+    # Close pairs still pay the largest relative penalty.
+    assert rdp_gap[0] > rdp_gap[1]

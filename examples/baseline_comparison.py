@@ -1,0 +1,126 @@
+"""Compare the sequencing protocol against the three baselines.
+
+Replays one identical workload trace through:
+
+* the paper's sequencing-atom fabric,
+* a centralized sequencer (optimally placed),
+* per-group vector-clock causal multicast,
+* Garcia-Molina/Spauster propagation trees,
+
+and prints delivery latency, per-protocol load concentration, and —
+the paper's point — whether cross-group order stayed consistent.
+
+Run::
+
+    python examples/baseline_comparison.py
+"""
+
+import itertools
+import random
+
+from repro.baselines.central_sequencer import CentralSequencerFabric
+from repro.baselines.propagation_tree import PropagationTreeFabric
+from repro.baselines.vector_clock import VectorClockFabric
+from repro.core.protocol import OrderingFabric
+from repro.experiments.common import ExperimentEnv, format_table
+from repro.pubsub.membership import GroupMembership
+from repro.workloads.replay import WorkloadTrace
+from repro.workloads.scenarios import PublishEvent
+from repro.workloads.zipf import zipf_membership
+
+N_HOSTS = 64
+N_GROUPS = 10
+N_EVENTS = 150
+
+
+def make_trace(seed=0):
+    rng = random.Random(seed)
+    snapshot = zipf_membership(N_HOSTS, N_GROUPS, rng=rng)
+    events = []
+    groups = sorted(snapshot)
+    for i in range(N_EVENTS):
+        group = rng.choice(groups)
+        sender = rng.choice(sorted(snapshot[group]))
+        events.append(PublishEvent(sender, group, {"i": i}))
+    return WorkloadTrace.from_schedule(snapshot, events, name="comparison")
+
+
+def membership_from(trace):
+    membership = GroupMembership()
+    for group, members in sorted(trace.membership.items()):
+        membership.create_group(members, group_id=group)
+    return membership
+
+
+def consistency_violations(fabric):
+    count = 0
+    for a, b in itertools.combinations(range(N_HOSTS), 2):
+        seq_a = [r.msg_id for r in fabric.delivered(a)]
+        seq_b = [r.msg_id for r in fabric.delivered(b)]
+        common = set(seq_a) & set(seq_b)
+        if [m for m in seq_a if m in common] != [m for m in seq_b if m in common]:
+            count += 1
+    return count
+
+
+def mean_latency(fabric):
+    total = count = 0
+    for host in range(N_HOSTS):
+        for record in fabric.delivered(host):
+            total += record.time - record.publish_time
+            count += 1
+    return total / count if count else float("nan")
+
+
+def main() -> None:
+    env = ExperimentEnv(n_hosts=N_HOSTS, seed=0)
+    trace = make_trace()
+
+    fabrics = {
+        "sequencing atoms": OrderingFabric(
+            membership_from(trace), env.hosts, env.topology, env.routing, trace=False
+        ),
+        "central sequencer": CentralSequencerFabric(
+            membership_from(trace), env.hosts, env.routing, trace=False
+        ),
+        "vector clocks": VectorClockFabric(
+            membership_from(trace), env.hosts, env.routing, trace=False
+        ),
+        "propagation tree": PropagationTreeFabric(
+            membership_from(trace), env.hosts, env.routing, trace=False
+        ),
+    }
+    rows = []
+    for name, fabric in fabrics.items():
+        trace.replay(fabric)
+        if name == "sequencing atoms":
+            hotspot = max(fabric.sequencing_load().values())
+        elif name == "central sequencer":
+            hotspot = fabric.coordinator_load()
+        elif name == "propagation tree":
+            hotspot = max(fabric.forwarding_load().values())
+        else:
+            hotspot = 0  # symmetric: no sequencing hotspot at all
+        rows.append(
+            (name, round(mean_latency(fabric), 1), hotspot, consistency_violations(fabric))
+        )
+
+    print(format_table(
+        ["protocol", "mean_latency_ms", "hotspot_msgs", "order_violations"],
+        rows,
+        title=f"{N_EVENTS} messages, {N_GROUPS} Zipf groups, {N_HOSTS} hosts",
+    ))
+    by_name = {row[0]: row for row in rows}
+    assert by_name["sequencing atoms"][3] == 0
+    assert by_name["central sequencer"][3] == 0
+    assert by_name["propagation tree"][3] == 0
+    print(
+        "\nvector clocks violated cross-group order "
+        f"{by_name['vector clocks'][3]} times; the sequencing network and "
+        "both asymmetric baselines stayed consistent — but only the "
+        "sequencing network did so without a central hotspot."
+    )
+
+
+if __name__ == "__main__":
+    main()

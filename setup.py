@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+environments without the ``wheel`` package (whose ``bdist_wheel`` command
+PEP 660 editable installs require) can still do ``pip install -e .`` via
+the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — reproduction of "Decentralized Message Ordering for
+Publish/Subscribe Systems" (Lumezanu, Spring, Bhattacharjee; Middleware 2006).
+
+The package provides:
+
+* the ordering protocol itself (:mod:`repro.core`) — sequencing atoms for
+  double-overlapped groups, arranged into a loop-free sequencing graph,
+  giving consistent (and, when senders subscribe, causal) cross-group
+  message order without centralized control or vector timestamps;
+* every substrate the paper's evaluation depends on — a packet-level
+  discrete-event simulator (:mod:`repro.sim`), a GT-ITM-style transit–stub
+  topology generator with shortest-path routing (:mod:`repro.topology`),
+  and a pub/sub layer (:mod:`repro.pubsub`);
+* the baselines the paper positions against (:mod:`repro.baselines`);
+* workload generators, metrics, and the experiment harness regenerating
+  every figure of the paper's evaluation (:mod:`repro.workloads`,
+  :mod:`repro.metrics`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import OrderedPubSub
+
+    bus = OrderedPubSub(n_hosts=8, seed=1)
+    for host in (0, 1, 2):
+        bus.subscribe(host, "match/arena-1")
+    bus.publish(0, "match/arena-1", {"event": "fire"})
+    bus.run()
+    print(bus.delivered_payloads(1))
+"""
+
+from repro.core import (
+    AtomId,
+    DeliveryRecord,
+    Message,
+    OrderedPubSub,
+    OrderingFabric,
+    OrderingViolation,
+    SequencingGraph,
+    Stamp,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomId",
+    "DeliveryRecord",
+    "Message",
+    "OrderedPubSub",
+    "OrderingFabric",
+    "OrderingViolation",
+    "SequencingGraph",
+    "Stamp",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Offline analysis of sequencing graphs and placements.
+
+* :mod:`repro.analysis.report` — structured statistics about a sequencing
+  graph + placement: atom/chain/cluster counts, per-group path profiles,
+  pass-through overheads, co-location quality, and the paper's
+  theoretical-bound checks.
+* :mod:`repro.analysis.graphviz` — Graphviz DOT export of the sequencing
+  graph (atoms, chains, group paths) and the placement, for visual
+  inspection of small configurations.
+"""
+
+from repro.analysis.graphviz import placement_to_dot, sequencing_graph_to_dot
+from repro.analysis.report import GraphReport, analyze
+
+__all__ = [
+    "GraphReport",
+    "analyze",
+    "placement_to_dot",
+    "sequencing_graph_to_dot",
+]

@@ -1,0 +1,79 @@
+"""Graphviz DOT export of sequencing graphs and placements.
+
+Small configurations (like the paper's Figure 1/2 examples) become much
+easier to reason about visually.  The exporters emit plain DOT text — no
+graphviz dependency; render with ``dot -Tpng`` if available.
+"""
+
+from typing import Optional
+
+from repro.core.placement import Placement
+from repro.core.sequencing_graph import SequencingGraph
+
+
+def _atom_node_id(atom) -> str:
+    return "atom_" + repr(atom).replace("(", "_").replace(")", "").replace(",", "_")
+
+
+def sequencing_graph_to_dot(
+    graph: SequencingGraph,
+    highlight_group: Optional[int] = None,
+) -> str:
+    """DOT for the sequencing graph: atoms as nodes, chain links as edges.
+
+    Retired atoms render dashed; ``highlight_group`` colors that group's
+    path (its own atoms filled, pass-through atoms outlined).
+    """
+    lines = [
+        "graph sequencing {",
+        "  rankdir=LR;",
+        '  node [shape=ellipse, fontname="monospace"];',
+    ]
+    highlighted_path = (
+        set(graph.group_path(highlight_group)) if highlight_group is not None else set()
+    )
+    highlighted_own = (
+        set(graph.atoms_of_group(highlight_group))
+        if highlight_group is not None
+        else set()
+    )
+    for atom_id in sorted(graph.atoms):
+        attrs = [f'label="{atom_id!r}"']
+        if atom_id in graph.retired:
+            attrs.append("style=dashed")
+        elif atom_id in highlighted_own:
+            attrs.append('style=filled fillcolor="lightblue"')
+        elif atom_id in highlighted_path:
+            attrs.append('color="blue"')
+        if atom_id.is_ingress_only:
+            attrs.append("shape=box")
+        lines.append(f"  {_atom_node_id(atom_id)} [{' '.join(attrs)}];")
+    for a, b in graph.edges():
+        lines.append(f"  {_atom_node_id(a)} -- {_atom_node_id(b)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def placement_to_dot(graph: SequencingGraph, placement: Placement) -> str:
+    """DOT with atoms clustered by their sequencing node (machine)."""
+    lines = [
+        "graph placement {",
+        "  rankdir=LR;",
+        '  node [shape=ellipse, fontname="monospace"];',
+    ]
+    for node in placement.nodes:
+        label = f"node {node.node_id}"
+        if node.machine is not None:
+            label += f" @ router {node.machine}"
+        if node.ingress_only:
+            label += " (ingress)"
+        lines.append(f"  subgraph cluster_{node.node_id} {{")
+        lines.append(f'    label="{label}";')
+        for atom_id in sorted(node.atom_ids):
+            style = " [style=dashed]" if atom_id in graph.retired else ""
+            lines.append(f"    {_atom_node_id(atom_id)}{style};")
+        lines.append("  }")
+    for a, b in graph.edges():
+        lines.append(f"  {_atom_node_id(a)} -- {_atom_node_id(b)};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Baseline ordering protocols the paper positions against (Section 2).
+
+* :mod:`repro.baselines.central_sequencer` — the classic asymmetric
+  solution: one coordinator sequences every message.  Simple, but the
+  sequencer's load grows with total system traffic and it is a single
+  point of failure — the paper's motivating foil.
+* :mod:`repro.baselines.vector_clock` — the symmetric solution: causal
+  delivery from vector timestamps (Birman–Schiper–Stephenson style).
+  Decentralized, but every message carries a vector whose size grows with
+  the node population — the overhead foil of Section 4.4.
+* :mod:`repro.baselines.propagation_tree` — Garcia-Molina & Spauster's
+  propagation trees [14], the closest related work: total order built by
+  forwarding messages down a fixed tree of destination nodes, sequencing
+  overlapped with distribution.
+
+All baselines expose the same surface as
+:class:`~repro.core.protocol.OrderingFabric` — ``publish`` / ``run`` /
+``delivered`` / ``unicast_delay`` — so the comparison benchmarks drive
+them interchangeably.
+"""
+
+from repro.baselines.central_sequencer import CentralSequencerFabric
+from repro.baselines.propagation_tree import PropagationTreeFabric
+from repro.baselines.vector_clock import VectorClockFabric
+
+__all__ = [
+    "CentralSequencerFabric",
+    "PropagationTreeFabric",
+    "VectorClockFabric",
+]

@@ -1,0 +1,182 @@
+"""Propagation-tree total-order baseline (Garcia-Molina & Spauster [14]).
+
+The closest related work to the paper: messages are ordered *by the
+destination nodes themselves* while being distributed down a fixed tree.
+All subscriber hosts are arranged in a single tree with the most-
+subscribed hosts nearest the root (the original work sequences messages
+at "the destination nodes that subscribe to the most groups").  A message
+to group G is injected at the lowest common ancestor of G's members and
+forwarded down the subtree toward the members, each node forwarding in
+arrival order over FIFO channels.
+
+Why this is consistent: for two groups sharing members, both groups' LCAs
+are ancestors of every shared member, hence comparable (on one root
+path); the deeper LCA lies on both propagation paths, and FIFO forwarding
+propagates its arrival order down to the shared members, so they deliver
+in the same order.
+
+What the paper improves on: here sequencing is fused with distribution,
+so destination nodes forward and order messages for groups they do not
+subscribe to, and interior nodes see load proportional to their whole
+subtree's traffic.  The comparison benchmark measures that forwarding
+load against sequencing-atom load.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.baselines.common import BaselineFabric, BaselineHostProcess
+from repro.core.messages import HEADER_BYTES, Stamp
+from repro.pubsub.membership import GroupMembership
+
+
+@dataclass
+class _TreeMessage:
+    stamp: Stamp
+    payload: Any
+    msg_id: int
+    sender: int
+    publish_time: float
+    group: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES
+
+
+class _TreeHostProcess(BaselineHostProcess):
+    """A destination node that forwards down the tree, then delivers."""
+
+    def __init__(self, sim, host, fabric):
+        super().__init__(sim, host, fabric)
+        self.forwarded = 0
+
+    def handle(self, payload: Any) -> None:
+        fabric: PropagationTreeFabric = self.fabric
+        members = fabric.membership.members(payload.group)
+        for child in fabric.children_toward(self.host.host_id, payload.group):
+            self.forwarded += 1
+            dst = fabric.host_processes[child]
+            channel = fabric.channel_between(
+                self, dst, fabric.host_delay(self.host.host_id, child)
+            )
+            channel.send(payload, payload.size_bytes())
+        if self.host.host_id in members:
+            self.deliver(payload)
+
+
+class PropagationTreeFabric(BaselineFabric):
+    """Total order via a fixed propagation tree over subscriber hosts."""
+
+    host_process_cls = _TreeHostProcess
+
+    def __init__(
+        self,
+        membership: GroupMembership,
+        hosts,
+        routing,
+        trace: bool = True,
+    ):
+        super().__init__(membership, hosts, routing, trace=trace)
+        # Heap-shaped tree over hosts ordered by subscription count (desc):
+        # position i's children are 2i+1 and 2i+2; busiest hosts at the top.
+        ordered = sorted(
+            (h.host_id for h in hosts),
+            key=lambda hid: (-len(membership.groups_of(hid)), hid),
+        )
+        self._order: List[int] = ordered
+        self._pos: Dict[int, int] = {hid: i for i, hid in enumerate(ordered)}
+        self._entry_cache: Dict[int, int] = {}
+        self._subtree_cache: Dict[int, Dict[int, List[int]]] = {}
+        self._seq = 0
+
+    # -- tree helpers ---------------------------------------------------
+
+    def parent(self, host_id: int) -> Optional[int]:
+        """Tree parent of a host, ``None`` at the root."""
+        pos = self._pos[host_id]
+        if pos == 0:
+            return None
+        return self._order[(pos - 1) // 2]
+
+    def _ancestors(self, host_id: int) -> List[int]:
+        """Root path of a host, inclusive, root first."""
+        path = [host_id]
+        while True:
+            parent = self.parent(path[-1])
+            if parent is None:
+                break
+            path.append(parent)
+        path.reverse()
+        return path
+
+    def entry_node(self, group: int) -> int:
+        """Lowest common ancestor of the group's members in the tree."""
+        cached = self._entry_cache.get(group)
+        if cached is not None:
+            return cached
+        members = sorted(self.membership.members(group))
+        paths = [self._ancestors(m) for m in members]
+        lca = paths[0][0]
+        for depth in range(min(len(p) for p in paths)):
+            step = paths[0][depth]
+            if all(p[depth] == step for p in paths):
+                lca = step
+            else:
+                break
+        self._entry_cache[group] = lca
+        return lca
+
+    def children_toward(self, host_id: int, group: int) -> List[int]:
+        """Tree children of ``host_id`` on paths toward group members."""
+        per_group = self._subtree_cache.setdefault(group, {})
+        if host_id in per_group:
+            return per_group[host_id]
+        children: List[int] = []
+        entry = self.entry_node(group)
+        for member in self.membership.members(group):
+            path = self._ancestors(member)
+            if host_id not in path or entry not in path:
+                continue
+            index = path.index(host_id)
+            if index < path.index(entry):
+                continue  # above the entry node: not on the propagation path
+            if index + 1 < len(path):
+                child = path[index + 1]
+                if child not in children:
+                    children.append(child)
+        children.sort()
+        per_group[host_id] = children
+        return children
+
+    # -- protocol ----------------------------------------------------------
+
+    def publish(self, sender: int, group: int, payload: Any = None) -> int:
+        """Send to the group's entry node; the tree does the rest."""
+        if not self.membership.has_group(group):
+            raise KeyError(f"no such group {group}")
+        self._seq += 1
+        msg = _TreeMessage(
+            stamp=Stamp(group=group, group_seq=self._seq),
+            payload=payload,
+            msg_id=self.next_msg_id(),
+            sender=sender,
+            publish_time=self.sim.now,
+            group=group,
+        )
+        self.trace.record(self.sim.now, "publish", msg=msg.msg_id, group=group, sender=sender)
+        entry = self.entry_node(group)
+        src = self.host_processes[sender]
+        dst = self.host_processes[entry]
+        if sender == entry:
+            self.sim.schedule(0.01, dst.receive, msg, None)
+        else:
+            channel = self.channel_between(src, dst, self.host_delay(sender, entry))
+            channel.send(msg, msg.size_bytes())
+        return msg.msg_id
+
+    def forwarding_load(self) -> Dict[int, int]:
+        """Messages forwarded per host (interior-node burden)."""
+        return {
+            host_id: process.forwarded
+            for host_id, process in self.host_processes.items()
+        }

@@ -1,0 +1,165 @@
+"""``repro`` command-line interface.
+
+Subcommands::
+
+    repro demo                       # tiny end-to-end ordering demo
+    repro figures --figures 3 5      # reproduce paper figures (see runner)
+    repro analyze --hosts 64 --groups 16 [--dot out.dot]
+                                     # build a Zipf workload and report the
+                                     # sequencing graph / placement
+    repro workload record out.json --hosts 32 --groups 8 --events 50
+    repro workload replay out.json   # replay a saved workload, verify order
+
+Also runnable as ``python -m repro.cli``.
+"""
+
+import argparse
+import itertools
+import random
+import sys
+from typing import List, Optional
+
+from repro.analysis import analyze, placement_to_dot, sequencing_graph_to_dot
+from repro.core.api import OrderedPubSub
+from repro.experiments import runner as figure_runner
+from repro.experiments.common import ExperimentEnv
+from repro.workloads.replay import WorkloadTrace
+from repro.workloads.scenarios import PublishEvent
+from repro.workloads.zipf import zipf_membership
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    bus = OrderedPubSub(n_hosts=8, seed=args.seed)
+    for user in (0, 1, 3):
+        bus.subscribe(user, "blue")
+    for user in (1, 2, 3):
+        bus.subscribe(user, "red")
+    bus.publish(0, "blue", "m0: hello blue")
+    bus.publish(2, "red", "m1: hello red")
+    bus.publish(1, "blue", "m2: hi from the overlap")
+    bus.run()
+    for user in range(4):
+        payloads = bus.delivered_payloads(user)
+        print(f"host {user}: {payloads}")
+    a = [r.msg_id for r in bus.delivered(1)]
+    b = [r.msg_id for r in bus.delivered(3)]
+    common = set(a) & set(b)
+    agreed = [m for m in a if m in common] == [m for m in b if m in common]
+    print(f"overlap members agree on order: {agreed}")
+    return 0 if agreed else 1
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    return figure_runner.main(args.rest)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    env = ExperimentEnv(n_hosts=args.hosts, seed=args.seed)
+    snapshot = zipf_membership(args.hosts, args.groups, rng=random.Random(args.seed))
+    membership = env.membership_from(snapshot)
+    graph = env.build_graph(snapshot, seed=args.seed)
+    placement = env.build_placement(graph, seed=args.seed)
+    report = analyze(graph, placement, membership)
+    print(report)
+    print()
+    print("per-group paths (group: members own/path/pass-through hops):")
+    for profile in report.group_profiles:
+        print(
+            f"  g{profile.group}: {profile.members} members, "
+            f"{profile.own_atoms}/{profile.path_atoms}/"
+            f"{profile.pass_through_atoms}, hops={profile.machine_hops}"
+        )
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(placement_to_dot(graph, placement))
+        print(f"\nDOT written to {args.dot}")
+    if args.graph_dot:
+        with open(args.graph_dot, "w") as handle:
+            handle.write(sequencing_graph_to_dot(graph))
+        print(f"graph DOT written to {args.graph_dot}")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    if args.action == "record":
+        rng = random.Random(args.seed)
+        snapshot = zipf_membership(args.hosts, args.groups, rng=rng)
+        events: List[PublishEvent] = []
+        groups = sorted(snapshot)
+        for index in range(args.events):
+            group = rng.choice(groups)
+            sender = rng.choice(sorted(snapshot[group]))
+            events.append(PublishEvent(sender, group, {"i": index}))
+        trace = WorkloadTrace.from_schedule(snapshot, events, name=args.path)
+        trace.validate()
+        trace.save(args.path)
+        print(
+            f"recorded {len(events)} events over {len(snapshot)} groups "
+            f"({args.hosts} hosts) -> {args.path}"
+        )
+        return 0
+    # replay
+    trace = WorkloadTrace.load(args.path)
+    trace.validate()
+    n_hosts = max(trace.n_hosts(), 2)
+    env = ExperimentEnv(n_hosts=n_hosts, seed=args.seed)
+    fabric = env.build_fabric(env.membership_from(trace.membership), seed=args.seed)
+    published = trace.replay(fabric)
+    stuck = fabric.pending_messages()
+    print(f"replayed {published} events; undelivered: {stuck or 'none'}")
+    violations = 0
+    for a, b in itertools.combinations(range(n_hosts), 2):
+        seq_a = [r.msg_id for r in fabric.delivered(a)]
+        seq_b = [r.msg_id for r in fabric.delivered(b)]
+        common = set(seq_a) & set(seq_b)
+        if [m for m in seq_a if m in common] != [m for m in seq_b if m in common]:
+            violations += 1
+    print(f"pairwise order violations: {violations}")
+    return 0 if not stuck and violations == 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="tiny end-to-end ordering demo")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+
+    figures = sub.add_parser(
+        "figures", help="reproduce paper figures (args passed through)"
+    )
+    figures.add_argument("rest", nargs=argparse.REMAINDER)
+    figures.set_defaults(func=_cmd_figures)
+
+    an = sub.add_parser("analyze", help="report on a Zipf workload's graph")
+    an.add_argument("--hosts", type=int, default=64)
+    an.add_argument("--groups", type=int, default=16)
+    an.add_argument("--seed", type=int, default=0)
+    an.add_argument("--dot", default=None, help="write placement DOT here")
+    an.add_argument("--graph-dot", default=None, help="write graph DOT here")
+    an.set_defaults(func=_cmd_analyze)
+
+    workload = sub.add_parser("workload", help="record/replay workload traces")
+    workload.add_argument("action", choices=("record", "replay"))
+    workload.add_argument("path")
+    workload.add_argument("--hosts", type=int, default=32)
+    workload.add_argument("--groups", type=int, default=8)
+    workload.add_argument("--events", type=int, default=50)
+    workload.add_argument("--seed", type=int, default=0)
+    workload.set_defaults(func=_cmd_workload)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # "figures" forwards its arguments verbatim to the experiment runner
+    # (argparse.REMAINDER cannot start with an optional at the top level).
+    if argv and argv[0] == "figures":
+        return figure_runner.main(argv[1:])
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""The paper's primary contribution: decentralized cross-group ordering.
+
+Layers, bottom-up:
+
+* :mod:`repro.core.messages` — messages, stamps, atom identities.
+* :mod:`repro.core.overlaps` — double-overlap analysis of the membership
+  matrix (only groups sharing ≥2 subscribers need sequencing).
+* :mod:`repro.core.sequencing_graph` — arrangement of sequencing atoms
+  satisfying C1 (single path per group) and C2 (loop-free), with
+  incremental group add/remove.
+* :mod:`repro.core.placement` — Section 3.4 co-location and machine
+  assignment heuristics.
+* :mod:`repro.core.atoms` — per-atom runtime state (counters, forwarding
+  and reverse-path tables).
+* :mod:`repro.core.delivery` — the receiver's instant deliver-or-buffer
+  decision.
+* :mod:`repro.core.protocol` — the ingress/sequencing/distribution
+  pipeline over the discrete-event simulator.
+* :mod:`repro.core.api` — the :class:`~repro.core.api.OrderedPubSub`
+  facade.
+"""
+
+from repro.core.api import OrderedPubSub, OrderingViolation
+from repro.core.atoms import AtomRuntime, build_atom_runtimes
+from repro.core.delivery import DeliveryState
+from repro.core.messages import AtomId, Message, Stamp, vector_timestamp_bytes
+from repro.core.overlaps import double_overlaps, overlap_clusters
+from repro.core.placement import (
+    Placement,
+    SequencingNode,
+    assign_machines,
+    co_locate_atoms,
+    place,
+    random_placement,
+)
+from repro.core.protocol import DeliveryRecord, OrderingFabric
+from repro.core.reconfigure import ReconfigurationError, reconfigure
+from repro.core.sequencing_graph import (
+    AtomSpec,
+    GraphInvariantError,
+    SequencingGraph,
+    pass_through_cost,
+)
+
+__all__ = [
+    "AtomId",
+    "AtomRuntime",
+    "AtomSpec",
+    "DeliveryRecord",
+    "DeliveryState",
+    "GraphInvariantError",
+    "Message",
+    "OrderedPubSub",
+    "OrderingFabric",
+    "OrderingViolation",
+    "Placement",
+    "ReconfigurationError",
+    "SequencingGraph",
+    "SequencingNode",
+    "Stamp",
+    "assign_machines",
+    "build_atom_runtimes",
+    "co_locate_atoms",
+    "double_overlaps",
+    "overlap_clusters",
+    "pass_through_cost",
+    "place",
+    "random_placement",
+    "reconfigure",
+    "vector_timestamp_bytes",
+]

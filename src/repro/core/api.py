@@ -1,0 +1,214 @@
+"""`OrderedPubSub` — the library's high-level entry point.
+
+Wraps topology generation, host attachment, subscription management, and
+the ordering fabric behind join/leave/publish/run calls::
+
+    from repro import OrderedPubSub
+
+    bus = OrderedPubSub(n_hosts=16, seed=7)
+    alice, bob, carol = 0, 1, 2
+    bus.subscribe(alice, "room/blue")
+    bus.subscribe(bob, "room/blue")
+    bus.subscribe(bob, "room/red")
+    bus.subscribe(carol, "room/red")
+    bus.publish(alice, "room/blue", "hello")
+    bus.run()
+    for record in bus.delivered(bob):
+        print(record.payload)
+
+Membership changes invalidate the running fabric; the next publish after a
+change rebuilds the sequencing graph and placement (the system must be
+quiescent — all in-flight messages delivered — at that point, mirroring
+the paper's static-membership evaluation; Section 5 leaves high-churn
+in-flight reconfiguration to future work).
+"""
+
+import random
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.protocol import DeliveryRecord, OrderingFabric
+from repro.pubsub.broker import SubscriptionBroker
+from repro.pubsub.membership import GroupMembership
+from repro.topology.clusters import Host, attach_hosts
+from repro.topology.gtitm import Topology, TransitStubParams, generate_transit_stub
+from repro.topology.routing import RoutingTable
+
+
+class OrderingViolation(RuntimeError):
+    """Raised on API misuse that would break ordering guarantees."""
+
+
+class OrderedPubSub:
+    """A simulated publish/subscribe system with cross-group ordering.
+
+    Parameters
+    ----------
+    n_hosts:
+        Number of end hosts to attach.
+    topology_params:
+        Transit–stub shape; a small test topology when omitted.
+    seed:
+        Master seed; all randomness (topology, attachment, graph ordering,
+        placement, loss) derives from it.
+    loss_rate:
+        Per-packet loss probability; positive values enable per-hop
+        acks/retransmission.
+    optimize:
+        Sequencing-chain ordering mode (``"none"|"greedy"|"local"``).
+    enforce_causal_sends:
+        When True (default), publishing to a group the sender is not a
+        member of raises :class:`OrderingViolation` — the paper's causal
+        ordering requires senders to subscribe to the groups they send to.
+        Pass False to allow decoupled (consistent but not causal) sends.
+    """
+
+    def __init__(
+        self,
+        n_hosts: int = 32,
+        topology_params: Optional[TransitStubParams] = None,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+        optimize: str = "greedy",
+        enforce_causal_sends: bool = True,
+        cluster_size: int = 8,
+    ):
+        self.seed = seed
+        self.loss_rate = loss_rate
+        self.optimize = optimize
+        self.enforce_causal_sends = enforce_causal_sends
+        rng = random.Random(seed)
+        self.topology: Topology = generate_transit_stub(
+            topology_params or TransitStubParams.small(), seed=seed
+        )
+        self.routing = RoutingTable(self.topology)
+        self.hosts: List[Host] = attach_hosts(
+            self.topology, n_hosts, cluster_size=cluster_size, rng=rng
+        )
+        self.broker = SubscriptionBroker(GroupMembership())
+        self._fabric: Optional[OrderingFabric] = None
+        self._dirty = True
+        self.broker.membership.add_listener(self._on_membership_change)
+        self._delivered_history: Dict[int, List[DeliveryRecord]] = {
+            h.host_id: [] for h in self.hosts
+        }
+        #: optional application callback ``(host_id, DeliveryRecord)``,
+        #: invoked on every delivery and persisted across fabric epochs
+        self.on_deliver = None
+
+    def _dispatch_deliver(self, host_id: int, record: DeliveryRecord) -> None:
+        if self.on_deliver is not None:
+            self.on_deliver(host_id, record)
+
+    # -- membership ---------------------------------------------------------
+
+    def _on_membership_change(self, op: str, group_id: int, members) -> None:
+        self._dirty = True
+
+    def subscribe(self, host_id: int, topic: str) -> int:
+        """Subscribe a host to a topic; returns the topic's group id."""
+        self._check_host(host_id)
+        return self.broker.subscribe(host_id, topic)
+
+    def unsubscribe(self, host_id: int, topic: str) -> None:
+        """Drop a host's subscription to a topic."""
+        self._check_host(host_id)
+        self.broker.unsubscribe(host_id, topic)
+
+    def create_group(self, members, group_id: Optional[int] = None) -> int:
+        """Create a raw group directly (experiments bypass topics)."""
+        for member in members:
+            self._check_host(member)
+        return self.broker.membership.create_group(members, group_id=group_id)
+
+    def _check_host(self, host_id: int) -> None:
+        if not 0 <= host_id < len(self.hosts):
+            raise KeyError(f"no such host {host_id} (have {len(self.hosts)})")
+
+    @property
+    def membership(self) -> GroupMembership:
+        """The underlying membership matrix."""
+        return self.broker.membership
+
+    # -- fabric lifecycle -----------------------------------------------------
+
+    @property
+    def fabric(self) -> OrderingFabric:
+        """The current ordering fabric, (re)building it if stale."""
+        if self._dirty:
+            self._rebuild()
+        return self._fabric
+
+    def _rebuild(self) -> None:
+        if self._fabric is not None:
+            if self._fabric.sim.pending:
+                raise OrderingViolation(
+                    "membership changed while messages are in flight; call "
+                    "run() to quiesce before publishing again"
+                )
+            # Preserve delivery history across fabric epochs.
+            for host_id, process in self._fabric.host_processes.items():
+                self._delivered_history[host_id].extend(process.delivered)
+            # Epoch switch with state continuity: surviving groups and
+            # atoms keep their sequence spaces (see repro.core.reconfigure).
+            from repro.core.reconfigure import reconfigure
+
+            self._fabric = reconfigure(
+                self._fabric, self.broker.membership, seed=self.seed
+            )
+        else:
+            self._fabric = OrderingFabric(
+                self.broker.membership,
+                self.hosts,
+                self.topology,
+                self.routing,
+                seed=self.seed,
+                loss_rate=self.loss_rate,
+                optimize=self.optimize,
+            )
+        self._fabric.on_deliver = self._dispatch_deliver
+        self._dirty = False
+
+    # -- messaging -------------------------------------------------------------
+
+    def publish(
+        self, sender: int, destination: Union[str, int], payload: Any = None
+    ) -> int:
+        """Publish ``payload`` from ``sender`` to a topic or group id."""
+        self._check_host(sender)
+        if isinstance(destination, str):
+            group = self.broker.group_for(destination)
+        else:
+            group = destination
+        if (
+            self.enforce_causal_sends
+            and sender not in self.membership.members(group)
+        ):
+            raise OrderingViolation(
+                f"host {sender} is not a member of group {group}; causal "
+                "ordering requires senders to subscribe to the groups they "
+                "send to (construct with enforce_causal_sends=False to allow)"
+            )
+        return self.fabric.publish(sender, group, payload)
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Run the simulation until quiescent (or ``until``)."""
+        if self._fabric is None:
+            return 0
+        return self._fabric.run(until=until)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (milliseconds)."""
+        return self._fabric.sim.now if self._fabric is not None else 0.0
+
+    def delivered(self, host_id: int) -> List[DeliveryRecord]:
+        """All messages delivered to a host, across fabric epochs."""
+        self._check_host(host_id)
+        records = list(self._delivered_history[host_id])
+        if self._fabric is not None:
+            records.extend(self._fabric.host_processes[host_id].delivered)
+        return records
+
+    def delivered_payloads(self, host_id: int) -> List[Any]:
+        """Just the payloads, in delivery order (convenience)."""
+        return [record.payload for record in self.delivered(host_id)]

@@ -1,0 +1,160 @@
+"""Receiver-side deliver-or-buffer decision (paper Sections 3.1, 3.3).
+
+"Any destination node can make an instant and deterministic decision of
+whether to deliver an arriving message to the application or to buffer it."
+
+A receiver tracks one expected counter per subscribed group (group-local
+sequence space — gap-free, since every member receives every group message)
+and one per *relevant* atom, i.e. every atom whose overlap contains the
+receiver (it subscribes to both overlapped groups, so it observes the
+atom's entire sequence space gap-free).  A message is deliverable exactly
+when its group-local number and every relevant atom number on its stamp
+match the expected counters.  Theorem 1 guarantees this never deadlocks
+and that all members of a group deliver in the same order.
+
+Deliverability doubles as the paper's commit signal: a deliverable message
+is known to have no delayed predecessors.
+"""
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.messages import AtomId, Stamp
+
+
+class DeliveryState:
+    """Per-receiver ordering state.
+
+    Parameters
+    ----------
+    host_id:
+        The receiver (for diagnostics).
+    groups:
+        Groups the receiver subscribes to.
+    relevant_atoms:
+        Atoms whose overlap contains the receiver; their sequence numbers
+        gate delivery.  Stamp entries from other atoms are ignored ("the
+        rest need only use the group-local sequence number").
+    """
+
+    def __init__(
+        self,
+        host_id: int,
+        groups: Iterable[int],
+        relevant_atoms: Iterable[AtomId],
+    ):
+        self.host_id = host_id
+        self._expected_group: Dict[int, int] = {g: 1 for g in groups}
+        self._expected_atom: Dict[AtomId, int] = {a: 1 for a in relevant_atoms}
+        self._buffer: List[Tuple[Stamp, object]] = []
+        self.delivered_count = 0
+        self.buffered_high_water = 0
+
+    def resume_from(
+        self,
+        group_next: Dict[int, int],
+        atom_next: Dict[AtomId, int],
+    ) -> None:
+        """Align expected counters with continuing sequence spaces.
+
+        Used by :mod:`repro.core.reconfigure` when a fabric is rebuilt
+        after a membership change: surviving groups and atoms keep their
+        sequence spaces, so receivers — including ones that just joined —
+        must expect the *next* number in each space rather than 1.
+        Unknown keys are ignored (the receiver is not subscribed/relevant).
+        """
+        if self._buffer:
+            raise ValueError(
+                f"host {self.host_id} has buffered messages; resume only "
+                "from a quiescent state"
+            )
+        for group, expected in group_next.items():
+            if group in self._expected_group:
+                self._expected_group[group] = expected
+        for atom_id, expected in atom_next.items():
+            if atom_id in self._expected_atom:
+                self._expected_atom[atom_id] = expected
+
+    # ------------------------------------------------------------------
+
+    def subscribes_to(self, group: int) -> bool:
+        """Whether this receiver tracks the given group."""
+        return group in self._expected_group
+
+    def _relevant_entries(self, stamp: Stamp) -> List[Tuple[AtomId, int]]:
+        return [
+            (atom_id, seq)
+            for atom_id, seq in stamp.atom_seqs
+            if atom_id in self._expected_atom
+        ]
+
+    def deliverable(self, stamp: Stamp) -> bool:
+        """The instant deliver-or-buffer decision for one stamp."""
+        if stamp.group not in self._expected_group:
+            raise KeyError(
+                f"host {self.host_id} received message for unsubscribed "
+                f"group {stamp.group}"
+            )
+        if stamp.group_seq != self._expected_group[stamp.group]:
+            return False
+        return all(
+            seq == self._expected_atom[atom_id]
+            for atom_id, seq in self._relevant_entries(stamp)
+        )
+
+    def _consume(self, stamp: Stamp) -> None:
+        self._expected_group[stamp.group] += 1
+        for atom_id, _ in self._relevant_entries(stamp):
+            self._expected_atom[atom_id] += 1
+        self.delivered_count += 1
+
+    def on_receive(self, stamp: Stamp, payload: object = None) -> List[Tuple[Stamp, object]]:
+        """Accept an arriving message; return everything now deliverable.
+
+        The returned list is in delivery order and may include previously
+        buffered messages unblocked by this arrival.  An arrival that is
+        not yet deliverable is buffered and the list is empty.
+        """
+        delivered: List[Tuple[Stamp, object]] = []
+        if self.deliverable(stamp):
+            self._consume(stamp)
+            delivered.append((stamp, payload))
+            delivered.extend(self._drain_buffer())
+        else:
+            self._buffer.append((stamp, payload))
+            self.buffered_high_water = max(self.buffered_high_water, len(self._buffer))
+        return delivered
+
+    def _drain_buffer(self) -> List[Tuple[Stamp, object]]:
+        delivered: List[Tuple[Stamp, object]] = []
+        progress = True
+        while progress:
+            progress = False
+            for index, (stamp, payload) in enumerate(self._buffer):
+                if self.deliverable(stamp):
+                    self._consume(stamp)
+                    delivered.append((stamp, payload))
+                    del self._buffer[index]
+                    progress = True
+                    break
+        return delivered
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Messages currently buffered awaiting predecessors."""
+        return len(self._buffer)
+
+    def pending_stamps(self) -> List[Stamp]:
+        """Stamps of buffered messages (diagnostics)."""
+        return [stamp for stamp, _ in self._buffer]
+
+    def expected_group_seq(self, group: int) -> int:
+        """Next group-local number this receiver will accept for ``group``."""
+        return self._expected_group[group]
+
+    def __repr__(self) -> str:
+        return (
+            f"<DeliveryState host={self.host_id} delivered={self.delivered_count} "
+            f"pending={self.pending}>"
+        )

@@ -1,0 +1,762 @@
+"""The ordering protocol runtime over the discrete-event simulator.
+
+This module wires the static artifacts — membership matrix, sequencing
+graph, placement — into running simulation processes implementing the
+paper's three phases:
+
+* **ingress** — a publisher host sends its message to the sequencing node
+  hosting the destination group's ingress atom;
+* **sequencing** — the message walks the group's atom path; atoms
+  associated with the group stamp it (group-local number at the ingress
+  atom, overlap numbers at every atom of the group), pass-through atoms
+  forward it in arrival order; consecutive co-located atoms are processed
+  without a network hop;
+* **distribution** — the last sequencing node sends the stamped message to
+  every group member over shortest paths.
+
+Channels between any two processes are FIFO (Section 3.1's assumption).
+When loss injection is enabled, a reliable link layer recovers losses the
+way a TCP connection between sequencers would: every packet on a hop
+carries a per-hop sequence number, the sender keeps it in an output
+retransmission buffer until acknowledged (Section 3.1's output buffer),
+and the receiver holds back out-of-order arrivals so the upper protocol
+still observes a FIFO channel.  Plain retransmission without hold-back
+would reorder packets on a hop and break the FIFO assumption the
+sequencing proof depends on.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.atoms import AtomRuntime, build_atom_runtimes
+from repro.core.delivery import DeliveryState
+from repro.core.messages import ATOM_ENTRY_BYTES, HEADER_BYTES, AtomId, Message, Stamp
+from repro.core.placement import Placement, place
+from repro.core.sequencing_graph import SequencingGraph
+from repro.pubsub.membership import GroupMembership
+from repro.sim.events import SimulationError, Simulator
+from repro.sim.network import Channel, Network
+from repro.sim.processes import Process
+from repro.sim.trace import Trace
+from repro.topology.clusters import Host
+from repro.topology.gtitm import Topology
+from repro.topology.routing import RoutingTable
+
+#: Delay between two sequencing nodes co-resident on one router (local IPC).
+LOCAL_HOP_DELAY = 0.01
+#: Serialized size of an acknowledgment packet.
+ACK_BYTES = 12
+#: Give up after this many retransmissions of one packet.
+MAX_RETRANSMITS = 60
+
+
+# ---------------------------------------------------------------------------
+# Packets
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DataPacket:
+    """A message in the sequencing phase, addressed to a specific atom."""
+
+    message: Message
+    target_atom: AtomId
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ATOM_ENTRY_BYTES * len(self.message.atom_seqs)
+
+
+@dataclass
+class DeliverPacket:
+    """A fully sequenced message in the distribution phase."""
+
+    stamp: Stamp
+    payload: Any
+    msg_id: int
+    sender: int
+    publish_time: float
+    dest: int
+    #: sequencing node that distributed the message (stability ack target)
+    egress_node: int = -1
+
+    def size_bytes(self) -> int:
+        return self.stamp.size_bytes()
+
+
+@dataclass
+class StabilityAck:
+    """Host -> egress node: "I delivered message ``msg_id`` to the app"."""
+
+    msg_id: int
+    host: int
+
+    def size_bytes(self) -> int:
+        return 8
+
+
+@dataclass
+class StableNotice:
+    """Egress node -> members: every member has delivered ``msg_id``.
+
+    The receiver-local deliverability decision already tells a host that
+    *it* will never reorder the message (the paper's commit signal); a
+    stable notice adds the uniform guarantee that every other member has
+    delivered it too — what a replicated application needs before acting
+    irrevocably on the message.
+    """
+
+    msg_id: int
+
+    def size_bytes(self) -> int:
+        return 8
+
+
+@dataclass
+class HopPacket:
+    """Reliable-link envelope: a per-hop sequence number plus the payload.
+
+    Hop sequence numbers let the receiver reconstruct the FIFO order of a
+    lossy hop (hold-back of out-of-order arrivals) and deduplicate
+    retransmissions.
+    """
+
+    seq: int
+    inner: Any
+
+    def size_bytes(self) -> int:
+        return 4 + self.inner.size_bytes()
+
+
+@dataclass
+class AckPacket:
+    """Per-hop acknowledgment releasing a retransmission buffer entry."""
+
+    seq: int
+
+    def size_bytes(self) -> int:
+        return ACK_BYTES
+
+
+class _LinkState:
+    """Sender- and receiver-side reliable-link state for one directed hop."""
+
+    __slots__ = ("next_send_seq", "pending", "next_expected", "holdback")
+
+    def __init__(self) -> None:
+        self.next_send_seq = 0
+        self.pending: Dict[int, Tuple[Any, int, Any]] = {}
+        self.next_expected = 0
+        self.holdback: Dict[int, Any] = {}
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One delivered message as observed by a receiver host."""
+
+    time: float
+    stamp: Stamp
+    payload: Any
+    msg_id: int
+    sender: int
+    publish_time: float
+
+
+# ---------------------------------------------------------------------------
+# Processes
+# ---------------------------------------------------------------------------
+
+
+class HostProcess(Process):
+    """A subscriber/publisher end host."""
+
+    def __init__(self, sim: Simulator, host: Host, fabric: "OrderingFabric"):
+        super().__init__(sim, ("host", host.host_id))
+        self.host = host
+        self.fabric = fabric
+        self.delivery: Optional[DeliveryState] = None
+        self.delivered: List[DeliveryRecord] = []
+        #: messages known stable (delivered by every group member)
+        self.stable_ids: set = set()
+        self._egress_of: Dict[int, int] = {}
+        self._crashed_until = 0.0
+        self.crashes = 0
+
+    def crash(self, duration: float) -> None:
+        """Take the host offline for ``duration`` ms (fail-stop receiver).
+
+        Like sequencing-node crashes, requires the reliable link layer:
+        distribution packets dropped during downtime sit in the last
+        sequencing node's retransmission buffer and redeliver afterwards.
+        """
+        if not self.fabric.reliable:
+            raise SimulationError(
+                "host crash/recovery needs the reliable link layer; "
+                "construct the fabric with loss_rate > 0 or an explicit "
+                "retransmit_timeout"
+            )
+        if duration <= 0:
+            raise ValueError(f"crash duration must be positive, got {duration}")
+        self.crashes += 1
+        self._crashed_until = max(self._crashed_until, self.sim.now + duration)
+
+    @property
+    def is_down(self) -> bool:
+        """Whether the host is currently refusing traffic."""
+        return self.sim.now < self._crashed_until
+
+    def receive(self, payload: Any, channel: Channel) -> None:
+        if self.is_down:
+            return
+        for packet in self.fabric._link_receive(self, payload, channel):
+            self.handle(packet)
+
+    def handle(self, payload: Any) -> None:
+        if isinstance(payload, StableNotice):
+            self.stable_ids.add(payload.msg_id)
+            return
+        if not isinstance(payload, DeliverPacket):
+            raise TypeError(f"host got unexpected packet {payload!r}")
+        if self.fabric.track_stability:
+            self._egress_of[payload.msg_id] = payload.egress_node
+        for stamp, record in self.delivery.on_receive(
+            payload.stamp,
+            DeliveryRecord(
+                time=self.sim.now,
+                stamp=payload.stamp,
+                payload=payload.payload,
+                msg_id=payload.msg_id,
+                sender=payload.sender,
+                publish_time=payload.publish_time,
+            ),
+        ):
+            # on_receive returns records in delivery order; re-stamp the
+            # delivery time for messages released from the buffer now.
+            final = DeliveryRecord(
+                time=self.sim.now,
+                stamp=stamp,
+                payload=record.payload,
+                msg_id=record.msg_id,
+                sender=record.sender,
+                publish_time=record.publish_time,
+            )
+            self.delivered.append(final)
+            self.fabric.trace.record(
+                self.sim.now,
+                "deliver",
+                host=self.host.host_id,
+                msg=final.msg_id,
+                group=stamp.group,
+                sender=final.sender,
+                publish_time=final.publish_time,
+            )
+            if self.fabric.on_deliver is not None:
+                self.fabric.on_deliver(self.host.host_id, final)
+            if self.fabric.track_stability:
+                egress = self._egress_of.pop(final.msg_id, -1)
+                if egress >= 0:
+                    self.fabric._transmit(
+                        self,
+                        self.fabric.node_processes[egress],
+                        StabilityAck(final.msg_id, self.host.host_id),
+                    )
+
+
+class SequencingNodeProcess(Process):
+    """A machine hosting one sequencing node's co-located atoms.
+
+    With a positive fabric ``service_time`` the node behaves as a single
+    FIFO server: each message visit occupies the machine for
+    ``service_time`` milliseconds and excess arrivals queue.  This models
+    sequencer processing capacity for throughput experiments; the default
+    (0) reproduces the paper's propagation-delay-only model.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        machine: int,
+        atom_runtimes: Dict[AtomId, AtomRuntime],
+        fabric: "OrderingFabric",
+    ):
+        super().__init__(sim, ("seq", node_id))
+        self.node_id = node_id
+        self.machine = machine
+        self.atom_runtimes = atom_runtimes
+        self.fabric = fabric
+        #: distinct messages this node handled (one per visit, however many
+        #: co-located atoms the message is processed by during the visit)
+        self.messages_handled = 0
+        #: single-server FIFO queue state (service-time model)
+        self._busy_until = 0.0
+        self.queue_high_water = 0
+        self._queued = 0
+        #: fail-stop downtime: packets arriving before this instant are
+        #: dropped on the floor (the reliable link layer recovers them)
+        self._crashed_until = 0.0
+        self.crashes = 0
+        self.packets_dropped_while_down = 0
+        #: stability tracking: msg_id -> members whose ack is outstanding
+        self._stability_waiting: Dict[int, set] = {}
+        self._stability_members: Dict[int, List[int]] = {}
+
+    def crash(self, duration: float) -> None:
+        """Take the node down for ``duration`` milliseconds (fail-stop).
+
+        While down, the node ignores every arriving packet — neither
+        processing nor acknowledging — so senders' retransmission buffers
+        (Section 3.1) hold the traffic and redeliver after recovery.  Atom
+        counters and link-layer state survive (they model durable
+        sequencer state); only in-flight packets are lost.  Requires a
+        reliable fabric (positive ``loss_rate`` or
+        ``retransmit_timeout``): without retransmission, downtime would
+        silently lose messages.
+        """
+        if not self.fabric.reliable:
+            raise SimulationError(
+                "crash/recovery needs the reliable link layer; construct "
+                "the fabric with loss_rate > 0 (any tiny value) so "
+                "retransmission can mask the downtime"
+            )
+        if duration <= 0:
+            raise ValueError(f"crash duration must be positive, got {duration}")
+        self.crashes += 1
+        self._crashed_until = max(self._crashed_until, self.sim.now + duration)
+
+    @property
+    def is_down(self) -> bool:
+        """Whether the node is currently refusing traffic."""
+        return self.sim.now < self._crashed_until
+
+    def receive(self, payload: Any, channel: Channel) -> None:
+        if self.is_down:
+            self.packets_dropped_while_down += 1
+            return
+        for packet in self.fabric._link_receive(self, payload, channel):
+            self.handle(packet)
+
+    def handle(self, payload: Any) -> None:
+        if isinstance(payload, StabilityAck):
+            self._collect_stability_ack(payload)
+            return
+        if not isinstance(payload, DataPacket):
+            raise TypeError(f"sequencing node got unexpected packet {payload!r}")
+        service = self.fabric.service_time
+        if service <= 0:
+            self.messages_handled += 1
+            self.process_at(payload.target_atom, payload.message)
+            return
+        # Single FIFO server: completion at max(now, busy_until) + service.
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + service
+        self._queued += 1
+        self.queue_high_water = max(self.queue_high_water, self._queued)
+        self.sim.schedule_at(self._busy_until, self._complete_service, payload)
+
+    def _collect_stability_ack(self, ack: StabilityAck) -> None:
+        """Count member delivery acks; broadcast stability when complete."""
+        waiting = self._stability_waiting.get(ack.msg_id)
+        if waiting is None:
+            return  # duplicate ack after stability was already declared
+        waiting.discard(ack.host)
+        if waiting:
+            return
+        del self._stability_waiting[ack.msg_id]
+        for member in self._stability_members.pop(ack.msg_id):
+            self.fabric._transmit(
+                self, self.fabric.host_processes[member], StableNotice(ack.msg_id)
+            )
+
+    def expect_stability_acks(self, msg_id: int, members) -> None:
+        """Arm stability tracking for one distributed message."""
+        member_set = set(members)
+        self._stability_waiting[msg_id] = set(member_set)
+        self._stability_members[msg_id] = sorted(member_set)
+
+    def _complete_service(self, payload: DataPacket) -> None:
+        if self.is_down:
+            # Accepted work pauses during downtime and resumes afterwards
+            # (counters are durable; only the processor is unavailable).
+            self.sim.schedule_at(self._crashed_until, self._complete_service, payload)
+            return
+        self._queued -= 1
+        self.messages_handled += 1
+        self.process_at(payload.target_atom, payload.message)
+
+    def process_at(self, atom_id: AtomId, message: Message) -> None:
+        """Run the message through co-located atoms until it leaves."""
+        current = atom_id
+        while True:
+            runtime = self.atom_runtimes.get(current)
+            if runtime is None:
+                raise SimulationError(
+                    f"atom {current} routed to node {self.node_id} but not hosted"
+                )
+            next_atom = runtime.process(message)
+            if next_atom is None:
+                self.fabric._distribute(self, message)
+                return
+            if next_atom in self.atom_runtimes:
+                current = next_atom
+                continue
+            self.fabric._send_data(self, next_atom, message)
+            return
+
+
+# ---------------------------------------------------------------------------
+# The fabric
+# ---------------------------------------------------------------------------
+
+
+class OrderingFabric:
+    """Everything needed to run the ordering protocol in simulation.
+
+    Parameters
+    ----------
+    membership:
+        The group membership matrix (static for the lifetime of a fabric;
+        rebuild the fabric after membership changes, or use
+        :class:`repro.core.api.OrderedPubSub` which does so lazily).
+    hosts:
+        End hosts attached to the topology.
+    topology, routing:
+        The router underlay and its shortest-path oracle.
+    seed:
+        Seed for graph ordering and placement tie-breaking.
+    loss_rate:
+        Per-packet Bernoulli loss probability (0 disables loss; the paper's
+        evaluation model).  Any positive value enables per-hop acks and
+        retransmission.
+    optimize:
+        Chain-ordering mode for the sequencing graph.
+    placement:
+        Optional pre-computed placement (for ablations); computed with the
+        Section 3.4 heuristic when omitted.
+    graph:
+        Optional pre-built sequencing graph (for ablations).
+    trace:
+        Record publish/deliver events (on by default; disable for speed).
+    service_time:
+        Per-message processing time at sequencing nodes, in milliseconds;
+        positive values turn each node into a single FIFO server so
+        throughput saturation can be studied (0 = the paper's model).
+    """
+
+    def __init__(
+        self,
+        membership: GroupMembership,
+        hosts: List[Host],
+        topology: Topology,
+        routing: RoutingTable,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+        optimize: str = "greedy",
+        placement: Optional[Placement] = None,
+        graph: Optional[SequencingGraph] = None,
+        trace: bool = True,
+        retransmit_timeout: Optional[float] = None,
+        service_time: float = 0.0,
+        track_stability: bool = False,
+    ):
+        import random as _random
+
+        if service_time < 0:
+            raise ValueError(f"service_time must be >= 0, got {service_time}")
+        #: uniform-delivery tracking: members ack deliveries to the egress
+        #: node, which broadcasts a StableNotice once everyone delivered
+        self.track_stability = track_stability
+        self.membership = membership
+        self.hosts = hosts
+        self.topology = topology
+        self.routing = routing
+        self.loss_rate = loss_rate
+        #: the reliable link layer runs when loss is possible, or when a
+        #: retransmit timeout is requested explicitly (e.g. for the
+        #: crash/recovery model on otherwise loss-free links)
+        self.reliable = loss_rate > 0 or retransmit_timeout is not None
+        self.retransmit_timeout = retransmit_timeout
+        #: per-message-visit processing time at sequencing nodes (ms);
+        #: 0 = the paper's propagation-delay-only model
+        self.service_time = service_time
+        self.sim = Simulator()
+        self._rng = _random.Random(seed)
+        self.network = Network(
+            self.sim, loss_rate=loss_rate, rng=_random.Random(seed + 1)
+        )
+        self.trace = Trace(enabled=trace)
+        self.on_deliver = None  # optional callback(host_id, DeliveryRecord)
+
+        snapshot = membership.snapshot()
+        self.graph = graph if graph is not None else SequencingGraph.build(
+            snapshot, rng=_random.Random(seed + 2), optimize=optimize
+        )
+        self.graph.validate()
+        host_router = {h.host_id: h.router for h in hosts}
+        self._host_by_id = {h.host_id: h for h in hosts}
+        self.placement = (
+            placement
+            if placement is not None
+            else place(
+                self.graph, host_router, topology, routing, rng=_random.Random(seed + 3)
+            )
+        )
+
+        # Processes: one per host, one per sequencing node.
+        runtimes = build_atom_runtimes(self.graph)
+        self.host_processes: Dict[int, HostProcess] = {}
+        for host in hosts:
+            process = HostProcess(self.sim, host, self)
+            process.delivery = DeliveryState(
+                host.host_id,
+                membership.groups_of(host.host_id),
+                self.graph.relevant_atoms_of(host.host_id),
+            )
+            self.network.add_process(process)
+            self.host_processes[host.host_id] = process
+        self.node_processes: Dict[int, SequencingNodeProcess] = {}
+        for node in self.placement.nodes:
+            node_runtimes = {a: runtimes[a] for a in node.atom_ids}
+            process = SequencingNodeProcess(
+                self.sim, node.node_id, node.machine, node_runtimes, self
+            )
+            self.network.add_process(process)
+            self.node_processes[node.node_id] = process
+
+        self._next_msg_id = 0
+        self._links: Dict[Tuple[Any, Any], _LinkState] = {}
+        self.published: Dict[int, Message] = {}
+        #: distribution-phase accounting (see _account_distribution)
+        self._delivery_trees: Dict[Tuple[int, int], Any] = {}
+        self.distribution_tree_links = 0
+        self.distribution_unicast_links = 0
+        self.distribution_tree_bytes = 0
+
+    # -- channel management ------------------------------------------------
+
+    def _channel(self, src: Process, dst: Process) -> Channel:
+        try:
+            return self.network.channel(src.name, dst.name)
+        except KeyError:
+            return self.network.connect(src.name, dst.name, self._delay(src, dst))
+
+    def _process_router(self, process: Process) -> int:
+        if isinstance(process, HostProcess):
+            return process.host.router
+        return process.machine
+
+    def _delay(self, src: Process, dst: Process) -> float:
+        delay = self.routing.delay(self._process_router(src), self._process_router(dst))
+        if isinstance(src, HostProcess):
+            delay += src.host.access_delay
+        if isinstance(dst, HostProcess):
+            delay += dst.host.access_delay
+        return max(delay, LOCAL_HOP_DELAY)
+
+    # -- reliable link layer -------------------------------------------------
+
+    def _link(self, src_name: Any, dst_name: Any) -> _LinkState:
+        key = (src_name, dst_name)
+        state = self._links.get(key)
+        if state is None:
+            state = _LinkState()
+            self._links[key] = state
+        return state
+
+    def _transmit(self, src: Process, dst: Process, packet: Any) -> None:
+        channel = self._channel(src, dst)
+        if not self.reliable:
+            channel.send(packet, packet.size_bytes())
+            return
+        link = self._link(src.name, dst.name)
+        hop = HopPacket(link.next_send_seq, packet)
+        link.next_send_seq += 1
+        channel.send(hop, hop.size_bytes())
+        self._arm_retransmit(src, dst, hop, attempts=0)
+
+    def _arm_retransmit(
+        self, src: Process, dst: Process, hop: HopPacket, attempts: int
+    ) -> None:
+        link = self._link(src.name, dst.name)
+        timeout = self.retransmit_timeout
+        if timeout is None:
+            timeout = 4 * self._channel(src, dst).delay + 1.0
+        handle = self.sim.schedule(timeout, self._retransmit, src, dst, hop, attempts)
+        link.pending[hop.seq] = (handle, attempts, hop)
+
+    def _retransmit(
+        self, src: Process, dst: Process, hop: HopPacket, attempts: int
+    ) -> None:
+        link = self._link(src.name, dst.name)
+        if hop.seq not in link.pending:
+            return
+        if attempts + 1 > MAX_RETRANSMITS:
+            raise SimulationError(f"packet {hop!r} exceeded retransmit budget")
+        channel = self._channel(src, dst)
+        channel.send(hop, hop.size_bytes())
+        self._arm_retransmit(src, dst, hop, attempts + 1)
+
+    def _link_receive(
+        self, receiver: Process, payload: Any, channel: Channel
+    ) -> List[Any]:
+        """Reliable-link input processing; returns in-order upper packets.
+
+        In unreliable mode the payload passes straight through.  Otherwise
+        acknowledgments release the sender's retransmission buffer, and hop
+        packets are acknowledged, deduplicated, and released to the caller
+        strictly in hop-sequence order (out-of-order arrivals are held
+        back), so the protocol above always sees a FIFO channel.
+        """
+        if not self.reliable:
+            return [payload]
+        sender_name = channel.src.name
+        if isinstance(payload, AckPacket):
+            link = self._link(receiver.name, sender_name)
+            entry = link.pending.pop(payload.seq, None)
+            if entry is not None:
+                entry[0].cancel()
+            return []
+        if not isinstance(payload, HopPacket):
+            raise TypeError(f"expected HopPacket on reliable link, got {payload!r}")
+        reverse = self._channel(receiver, channel.src)
+        reverse.send(AckPacket(payload.seq), ACK_BYTES)
+        link = self._link(sender_name, receiver.name)
+        if payload.seq < link.next_expected or payload.seq in link.holdback:
+            return []  # duplicate of an already-queued or processed packet
+        link.holdback[payload.seq] = payload.inner
+        released: List[Any] = []
+        while link.next_expected in link.holdback:
+            released.append(link.holdback.pop(link.next_expected))
+            link.next_expected += 1
+        return released
+
+    # -- protocol phases ---------------------------------------------------
+
+    def publish(self, sender: int, group: int, payload: Any = None) -> int:
+        """Inject a message from ``sender`` to ``group``; returns its id.
+
+        The ingress hop is scheduled immediately at current virtual time.
+        For a *causal* order the sender must subscribe to ``group``
+        (Section 3.1); this is the caller's choice and not enforced here.
+        """
+        if not self.membership.has_group(group):
+            raise KeyError(f"no such group {group}")
+        message = Message(
+            msg_id=self._next_msg_id,
+            group=group,
+            sender=sender,
+            payload=payload,
+            publish_time=self.sim.now,
+        )
+        self._next_msg_id += 1
+        self.published[message.msg_id] = message
+        self.trace.record(self.sim.now, "publish", msg=message.msg_id, group=group, sender=sender)
+        ingress = self.graph.ingress_atom(group)
+        node = self.placement.node_of(ingress)
+        src = self.host_processes[sender]
+        dst = self.node_processes[node.node_id]
+        self._transmit(src, dst, DataPacket(message, ingress))
+        return message.msg_id
+
+    def _send_data(
+        self, src: SequencingNodeProcess, target_atom: AtomId, message: Message
+    ) -> None:
+        node = self.placement.node_of(target_atom)
+        dst = self.node_processes[node.node_id]
+        if dst is src:
+            raise SimulationError(
+                f"atom {target_atom} is co-located with sender; should have "
+                "been processed inline"
+            )
+        self._transmit(src, dst, DataPacket(message, target_atom))
+
+    def _distribute(self, src: SequencingNodeProcess, message: Message) -> None:
+        stamp = message.stamp()
+        members = sorted(self.membership.members(message.group))
+        if self.track_stability:
+            src.expect_stability_acks(message.msg_id, members)
+        for member in members:
+            packet = DeliverPacket(
+                stamp=stamp,
+                payload=message.payload,
+                msg_id=message.msg_id,
+                sender=message.sender,
+                publish_time=message.publish_time,
+                dest=member,
+                egress_node=src.node_id,
+            )
+            self._transmit(src, self.host_processes[member], packet)
+        self._account_distribution(src, message.group, stamp.size_bytes())
+
+    def _account_distribution(
+        self, src: SequencingNodeProcess, group: int, size_bytes: int
+    ) -> None:
+        """Record delivery-tree link usage for the distribution phase.
+
+        The paper hands messages leaving the sequencing network "to a
+        delivery tree and on to group members".  Per-member arrival times
+        equal shortest-path unicast either way (the tree is the union of
+        shortest paths), so the simulation sends unicast copies; this
+        accounting tracks what a shared delivery tree would put on each
+        link, for the multicast-efficiency metrics.
+        """
+        key = (src.machine, group)
+        tree = self._delivery_trees.get(key)
+        if tree is None:
+            from repro.pubsub.multicast import DeliveryTree
+
+            members = [
+                self._host_by_id[m].router for m in self.membership.members(group)
+            ]
+            tree = DeliveryTree(self.routing, src.machine, members)
+            self._delivery_trees[key] = tree
+        self.distribution_tree_links += tree.link_count()
+        self.distribution_unicast_links += tree.unicast_link_count()
+        self.distribution_tree_bytes += tree.link_count() * size_bytes
+
+    # -- running and inspecting ---------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drive the simulation; returns events executed."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def delivered(self, host_id: int) -> List[DeliveryRecord]:
+        """Messages delivered to a host, in delivery order."""
+        return list(self.host_processes[host_id].delivered)
+
+    def pending_messages(self) -> Dict[int, int]:
+        """Hosts with messages still buffered (should be empty after run)."""
+        return {
+            host_id: process.delivery.pending
+            for host_id, process in self.host_processes.items()
+            if process.delivery.pending
+        }
+
+    def unicast_delay(self, sender: int, dest: int) -> float:
+        """Baseline shortest-path delay between two hosts."""
+        a = self._host_by_id[sender]
+        b = self._host_by_id[dest]
+        if sender == dest:
+            return 2 * a.access_delay
+        return a.access_delay + self.routing.delay(a.router, b.router) + b.access_delay
+
+    def stable_messages(self, host_id: int) -> set:
+        """Messages ``host_id`` knows are delivered at every group member.
+
+        Requires ``track_stability=True``; stability notices propagate a
+        round-trip after the last member's delivery, so run the simulation
+        to quiescence before checking.
+        """
+        return set(self.host_processes[host_id].stable_ids)
+
+    def sequencing_load(self) -> Dict[int, int]:
+        """Distinct message visits per sequencing node.
+
+        A message processed by several co-located atoms during one visit
+        counts once — this is the machine-level load figure the paper's
+        scalability argument is about.  Per-atom work counts live on the
+        atom runtimes (``messages_sequenced``/``messages_passed_through``).
+        """
+        return {
+            node_id: process.messages_handled
+            for node_id, process in self.node_processes.items()
+        }

@@ -1,0 +1,183 @@
+"""State-continuous reconfiguration across membership changes.
+
+The paper evaluates static memberships and leaves dynamic behaviour to
+future work (Section 5), but specifies the building blocks: incremental
+group add/remove on the sequencing graph (Section 3.2) and lazy retirement
+of obsolete atoms.  This module composes them into an *epoch switch*: given
+a quiescent fabric and the new membership matrix, it derives the next
+epoch's graph incrementally (preserving surviving atoms and their chain
+order), rebuilds placement and processes, and **carries the protocol state
+forward** —
+
+* surviving overlap atoms keep their sequence counters (their sequence
+  spaces continue instead of restarting at 1),
+* each surviving group keeps its group-local counter, wherever its ingress
+  atom moved,
+* receivers — including newly joined subscribers — start expecting the
+  *next* number of each continuing space (quiescence guarantees everyone
+  is caught up, so no per-receiver state needs to move),
+* message ids continue, so cross-epoch delivery logs remain comparable.
+
+The fabric must be quiescent (no in-flight messages, no buffered
+deliveries): reconfiguring mid-flight is exactly the open problem the
+paper defers, and silently attempting it would corrupt ordering.
+"""
+
+import logging
+from typing import Dict, Optional
+
+from repro.core.messages import AtomId
+from repro.core.protocol import OrderingFabric
+from repro.pubsub.membership import GroupMembership
+from repro.sim.events import SimulationError
+
+logger = logging.getLogger(__name__)
+
+
+class ReconfigurationError(RuntimeError):
+    """Raised when an epoch switch is attempted in an unsafe state."""
+
+
+def _require_quiescent(fabric: OrderingFabric) -> None:
+    if fabric.sim.pending:
+        raise ReconfigurationError(
+            f"{fabric.sim.pending} events still in flight; run() the fabric "
+            "to quiescence before reconfiguring"
+        )
+    buffered = fabric.pending_messages()
+    if buffered:
+        raise ReconfigurationError(
+            f"hosts {sorted(buffered)} still buffer undeliverable messages"
+        )
+
+
+def _group_local_counters(fabric: OrderingFabric) -> Dict[int, int]:
+    """Current group-local counter per group (at each group's ingress atom)."""
+    counters: Dict[int, int] = {}
+    for process in fabric.node_processes.values():
+        for runtime in process.atom_runtimes.values():
+            for group, value in runtime.group_local_counters.items():
+                counters[group] = max(counters.get(group, 0), value)
+    return counters
+
+
+def _atom_counters(fabric: OrderingFabric) -> Dict[AtomId, int]:
+    """Current overlap sequence counter per atom."""
+    counters: Dict[AtomId, int] = {}
+    for process in fabric.node_processes.values():
+        for atom_id, runtime in process.atom_runtimes.items():
+            counters[atom_id] = runtime.seq_counter
+    return counters
+
+
+def reconfigure(
+    fabric: OrderingFabric,
+    membership: GroupMembership,
+    seed: Optional[int] = None,
+    lazy: bool = True,
+    compact: bool = False,
+) -> OrderingFabric:
+    """Build the next-epoch fabric for ``membership``, carrying state over.
+
+    Parameters
+    ----------
+    fabric:
+        The quiescent previous-epoch fabric (discard it afterwards).
+    membership:
+        The new authoritative membership matrix.  Groups keeping their id
+        and member set are *surviving*; a changed member set is treated as
+        remove-then-add under the same id (the paper's model), which
+        restarts that group's sequence spaces.
+    seed:
+        Seed for the new placement; defaults to a derived seed.
+    lazy:
+        Retire obsolete atoms lazily (paper default) or splice eagerly.
+    compact:
+        Additionally drop all retired atoms after the diff (catch-up of
+        lazy removals).
+
+    Returns
+    -------
+    A fresh :class:`OrderingFabric` at virtual time 0 with continued
+    counters.  Delivery history stays with the old fabric.
+    """
+    _require_quiescent(fabric)
+    seed = seed if seed is not None else fabric._rng.randrange(2**31)
+
+    old_snapshot = {g: fabric.graph.members(g) for g in fabric.graph.groups()}
+    new_snapshot = membership.snapshot()
+
+    graph = fabric.graph.clone()
+    removed = [g for g in old_snapshot if g not in new_snapshot]
+    added = [g for g in new_snapshot if g not in old_snapshot]
+    changed = [
+        g
+        for g in new_snapshot
+        if g in old_snapshot and old_snapshot[g] != new_snapshot[g]
+    ]
+    for group in sorted(removed):
+        graph.remove_group(group, lazy=lazy)
+    for group in sorted(changed):
+        graph.remove_group(group, lazy=lazy)
+        graph.add_group(group, new_snapshot[group])
+    for group in sorted(added):
+        graph.add_group(group, new_snapshot[group])
+    if compact:
+        graph.compact()
+    graph.validate()
+    logger.info(
+        "epoch switch: %d removed, %d changed, %d added groups; "
+        "%d atoms (%d retired)",
+        len(removed),
+        len(changed),
+        len(added),
+        len(graph.atoms),
+        len(graph.retired),
+    )
+
+    next_fabric = OrderingFabric(
+        membership,
+        fabric.hosts,
+        fabric.topology,
+        fabric.routing,
+        seed=seed,
+        loss_rate=fabric.loss_rate,
+        graph=graph,
+        trace=fabric.trace.enabled,
+        retransmit_timeout=fabric.retransmit_timeout,
+    )
+    if next_fabric.sim.events_executed:
+        raise SimulationError("fresh fabric unexpectedly executed events")
+
+    # --- carry sequence spaces forward ---------------------------------
+    surviving_groups = {
+        g for g in new_snapshot if g in old_snapshot and g not in changed
+    }
+    old_group_counters = {
+        g: v for g, v in _group_local_counters(fabric).items() if g in surviving_groups
+    }
+    old_atom_counters = _atom_counters(fabric)
+
+    for process in next_fabric.node_processes.values():
+        for atom_id, runtime in process.atom_runtimes.items():
+            if atom_id in old_atom_counters:
+                runtime.seq_counter = old_atom_counters[atom_id]
+    for group, value in old_group_counters.items():
+        ingress = graph.ingress_atom(group)
+        node = next_fabric.placement.node_of(ingress)
+        runtime = next_fabric.node_processes[node.node_id].atom_runtimes[ingress]
+        runtime.group_local_counters[group] = value
+
+    # --- align receiver expectations ------------------------------------
+    group_next = {g: v + 1 for g, v in old_group_counters.items()}
+    atom_next = {
+        atom_id: value + 1
+        for atom_id, value in old_atom_counters.items()
+        if next_fabric.graph.is_active(atom_id)
+    }
+    for process in next_fabric.host_processes.values():
+        process.delivery.resume_from(group_next, atom_next)
+
+    # --- continuity of identifiers ---------------------------------------
+    next_fabric._next_msg_id = fabric._next_msg_id
+    return next_fabric

@@ -1,0 +1,25 @@
+"""Experiment harness regenerating every figure of the paper's evaluation.
+
+The paper's evaluation (Section 4) has no numbered tables; its results are
+Figures 3–8 (Figures 1–2 are protocol diagrams).  One module per figure:
+
+======  =======================================================  =========
+module  reproduces                                               kind
+======  =======================================================  =========
+fig3    CDF of latency stretch (128 nodes, 8–64 groups)          simulated
+fig4    RDP vs unicast delay per sender–destination pair         simulated
+fig5    # sequencing nodes vs # groups (100 runs, 10/90th pct)   static
+fig6    sequencing-node stress vs # groups (avg/90th/max)        static
+fig7    CDF of atoms-on-path / total nodes                       static
+fig8    # sequencing nodes & double overlaps vs occupancy        static
+======  =======================================================  =========
+
+Run them all: ``python -m repro.experiments.runner`` (add ``--paper-scale``
+for the full 10,000-router topology).  Each module exposes a ``run_*``
+function returning structured data and a ``render`` helper producing the
+text table the benchmarks snapshot.
+"""
+
+from repro.experiments.common import ExperimentEnv, format_table
+
+__all__ = ["ExperimentEnv", "format_table"]

@@ -1,0 +1,156 @@
+"""Exporting experiment results: CSV series and ASCII plots.
+
+The figure modules return plain Python structures; this module turns them
+into (a) CSV files consumable by any plotting tool and (b) quick ASCII
+plots for terminal inspection — a CDF plot for Figures 3/7 style results
+and an x-y line plot for Figures 5/6/8 style results.  No plotting
+library is required.
+"""
+
+import csv
+import pathlib
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_csv(
+    path: PathLike, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> pathlib.Path:
+    """Write rows to ``path`` as CSV; returns the resolved path."""
+    resolved = pathlib.Path(path)
+    resolved.parent.mkdir(parents=True, exist_ok=True)
+    with open(resolved, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+    return resolved
+
+
+def cdf_rows(samples: Dict[object, List[float]]) -> List[Tuple[object, float, float]]:
+    """Flatten per-series samples into ``(series, value, fraction)`` rows."""
+    rows: List[Tuple[object, float, float]] = []
+    for label in sorted(samples, key=str):
+        ordered = sorted(samples[label])
+        n = len(ordered)
+        for index, value in enumerate(ordered):
+            rows.append((label, value, (index + 1) / n))
+    return rows
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high <= low:
+        return 0
+    position = round((value - low) / (high - low) * (steps - 1))
+    return min(max(position, 0), steps - 1)
+
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_cdf(
+    samples: Dict[object, List[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render per-series CDFs on one ASCII canvas.
+
+    Each series gets a marker; the x axis spans the pooled value range and
+    the y axis is the cumulative fraction 0..1.
+    """
+    pooled = [v for values in samples.values() for v in values]
+    if not pooled:
+        return title or "(no data)"
+    low, high = min(pooled), max(pooled)
+    canvas = [[" "] * width for _ in range(height)]
+    labels = sorted(samples, key=str)
+    for series_index, label in enumerate(labels):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        ordered = sorted(samples[label])
+        n = len(ordered)
+        for index, value in enumerate(ordered):
+            x = _scale(value, low, high, width)
+            y = _scale((index + 1) / n, 0.0, 1.0, height)
+            canvas[height - 1 - y][x] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("1.0 +" + "-" * width)
+    for row in canvas:
+        lines.append("    |" + "".join(row))
+    lines.append("0.0 +" + "-" * width)
+    lines.append(f"     {low:<12.3f}{'':{max(0, width - 24)}}{high:>12.3f}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={label}" for i, label in enumerate(labels)
+    )
+    lines.append("     " + legend)
+    return "\n".join(lines)
+
+
+def ascii_xy(
+    series: Dict[object, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render ``(x, y)`` series (line-plot style) on one ASCII canvas."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return title or "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    canvas = [[" "] * width for _ in range(height)]
+    labels = sorted(series, key=str)
+    for series_index, label in enumerate(labels):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        for x, y in series[label]:
+            col = _scale(x, x_low, x_high, width)
+            row = _scale(y, y_low, y_high, height)
+            canvas[height - 1 - row][col] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_high:>8.2f} +" + "-" * width)
+    for row in canvas:
+        lines.append("         |" + "".join(row))
+    lines.append(f"{y_low:>8.2f} +" + "-" * width)
+    lines.append(f"          {x_low:<12.3f}{'':{max(0, width - 24)}}{x_high:>12.3f}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={label}" for i, label in enumerate(labels)
+    )
+    lines.append("          " + legend)
+    return "\n".join(lines)
+
+
+def export_figure(
+    name: str,
+    out_dir: PathLike,
+    samples: Dict[object, List[float]] = None,
+    xy: Dict[object, List[Tuple[float, float]]] = None,
+) -> List[pathlib.Path]:
+    """Write a figure's data as CSV (and return the written paths).
+
+    Exactly one of ``samples`` (CDF-style) or ``xy`` (line-style) must be
+    given.
+    """
+    if (samples is None) == (xy is None):
+        raise ValueError("provide exactly one of samples/xy")
+    out = pathlib.Path(out_dir)
+    if samples is not None:
+        return [
+            write_csv(
+                out / f"{name}_cdf.csv",
+                ["series", "value", "cum_fraction"],
+                cdf_rows(samples),
+            )
+        ]
+    rows = [
+        (label, x, y)
+        for label in sorted(xy, key=str)
+        for x, y in xy[label]
+    ]
+    return [write_csv(out / f"{name}_xy.csv", ["series", "x", "y"], rows)]

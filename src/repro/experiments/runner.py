@@ -1,0 +1,152 @@
+"""Run all (or selected) figure reproductions from the command line.
+
+Usage::
+
+    python -m repro.experiments.runner                 # all figures, quick
+    python -m repro.experiments.runner --figures 3 5   # a subset
+    python -m repro.experiments.runner --runs 100      # paper repetitions
+    python -m repro.experiments.runner --paper-scale   # 10,000-router topology
+    python -m repro.experiments.runner --csv-dir out/  # export raw series
+    python -m repro.experiments.runner --ascii         # terminal plots
+
+Quick mode (default) uses a few-hundred-router topology and fewer
+repetitions; ``--paper-scale``/``--runs`` restore the paper's parameters.
+"""
+
+import argparse
+from typing import List, Optional
+
+from repro.experiments import fig3_latency_stretch as fig3
+from repro.experiments import fig4_rdp as fig4
+from repro.experiments import fig5_sequencing_nodes as fig5
+from repro.experiments import fig6_stress as fig6
+from repro.experiments import fig7_atoms_on_path as fig7
+from repro.experiments import fig8_occupancy as fig8
+from repro.experiments import export
+from repro.experiments.common import ExperimentEnv
+
+
+def run_selected(
+    figures: List[int],
+    runs: int,
+    paper_scale: bool,
+    n_hosts: int = 128,
+    csv_dir: Optional[str] = None,
+    ascii_plots: bool = False,
+) -> str:
+    """Run the requested figures, returning the combined report text."""
+    env = ExperimentEnv(n_hosts=n_hosts, paper_scale=paper_scale)
+    sections: List[str] = []
+
+    def emit(table: str, plot: Optional[str]) -> None:
+        sections.append(table)
+        if ascii_plots and plot:
+            sections.append(plot)
+
+    if 3 in figures:
+        results = fig3.run_fig3(env)
+        plot = export.ascii_cdf(
+            {f"{g} groups": v for g, v in results.items()},
+            title="Figure 3: latency stretch CDF",
+        )
+        emit(fig3.render(results), plot)
+        if csv_dir:
+            export.export_figure("fig3", csv_dir, samples=results)
+    if 4 in figures:
+        points = fig4.run_fig4(env)
+        plot = export.ascii_xy(
+            {"rdp": points}, title="Figure 4: RDP vs unicast delay"
+        )
+        emit(fig4.render(points), plot)
+        if csv_dir:
+            export.export_figure("fig4", csv_dir, xy={"rdp": points})
+    if 5 in figures:
+        results = fig5.run_fig5(env, runs=runs)
+        series = {
+            "nodes": [
+                (g, sum(v) / len(v)) for g, v in sorted(results.items())
+            ]
+        }
+        emit(
+            fig5.render(results),
+            export.ascii_xy(series, title="Figure 5: sequencing nodes vs groups"),
+        )
+        if csv_dir:
+            export.export_figure("fig5", csv_dir, xy=series)
+    if 6 in figures:
+        results = fig6.run_fig6(env, runs=runs)
+        series = {
+            "avg_stress": [
+                (g, sum(v) / len(v)) for g, v in sorted(results.items()) if v
+            ]
+        }
+        emit(
+            fig6.render(results),
+            export.ascii_xy(series, title="Figure 6: stress vs groups"),
+        )
+        if csv_dir:
+            export.export_figure("fig6", csv_dir, xy=series)
+    if 7 in figures:
+        results = fig7.run_fig7(env, runs=max(1, runs // 5))
+        plot = export.ascii_cdf(
+            {f"{g} groups": v for g, v in results.items()},
+            title="Figure 7: atoms-on-path ratio CDF",
+        )
+        emit(fig7.render(results), plot)
+        if csv_dir:
+            export.export_figure("fig7", csv_dir, samples=results)
+    if 8 in figures:
+        results = fig8.run_fig8(env, runs=max(1, runs // 10))
+        series = {
+            "double_overlaps": [(occ, results[occ][0]) for occ in sorted(results)],
+            "sequencing_nodes": [(occ, results[occ][1]) for occ in sorted(results)],
+        }
+        emit(
+            fig8.render(results),
+            export.ascii_xy(series, title="Figure 8: overlaps & nodes vs occupancy"),
+        )
+        if csv_dir:
+            export.export_figure("fig8", csv_dir, xy=series)
+    return "\n\n".join(sections)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--figures",
+        type=int,
+        nargs="+",
+        default=[3, 4, 5, 6, 7, 8],
+        help="figure numbers to reproduce (default: all)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=20, help="repetitions for figs 5/6 (paper: 100)"
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the full 10,000-router topology (slower)",
+    )
+    parser.add_argument("--hosts", type=int, default=128, help="subscriber hosts")
+    parser.add_argument(
+        "--csv-dir", default=None, help="directory for raw CSV series exports"
+    )
+    parser.add_argument(
+        "--ascii", action="store_true", help="render ASCII plots after each table"
+    )
+    args = parser.parse_args(argv)
+    print(
+        run_selected(
+            args.figures,
+            args.runs,
+            args.paper_scale,
+            n_hosts=args.hosts,
+            csv_dir=args.csv_dir,
+            ascii_plots=args.ascii,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

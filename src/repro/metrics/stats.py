@@ -1,0 +1,64 @@
+"""Small statistics helpers shared by metrics and experiments."""
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) with linear interpolation."""
+    if not len(values):
+        raise ValueError("percentile of empty sequence")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def cdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as sorted ``(value, fraction <= value)`` points."""
+    if not len(values):
+        return []
+    ordered = np.sort(np.asarray(values, dtype=float))
+    n = len(ordered)
+    return [(float(v), (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / percentiles / extrema summary of a sample."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("summary of empty sequence")
+    return {
+        "mean": float(array.mean()),
+        "min": float(array.min()),
+        "p10": float(np.percentile(array, 10)),
+        "p50": float(np.percentile(array, 50)),
+        "p90": float(np.percentile(array, 90)),
+        "max": float(array.max()),
+    }
+
+
+def cdf_at(values: Sequence[float], thresholds: Sequence[float]) -> List[float]:
+    """Fraction of samples <= each threshold (CDF sampled at points)."""
+    array = np.sort(np.asarray(values, dtype=float))
+    return [float(np.searchsorted(array, t, side="right")) / len(array) for t in thresholds]
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """``(mean, low, high)`` with a Student-t confidence interval.
+
+    For a single sample the interval degenerates to the point itself.
+    """
+    from scipy import stats as scipy_stats
+
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("confidence interval of empty sequence")
+    mean = float(array.mean())
+    if array.size == 1:
+        return (mean, mean, mean)
+    sem = float(scipy_stats.sem(array))
+    if sem == 0:
+        return (mean, mean, mean)
+    half = sem * float(scipy_stats.t.ppf((1 + confidence) / 2, array.size - 1))
+    return (mean, mean - half, mean + half)

@@ -1,0 +1,252 @@
+"""Content-based subscriptions on top of the group model.
+
+The paper positions its ordering layer for content-based pub/sub systems
+(Siena, Hermes, Gryphon — its refs [25–27]), where subscribers register
+*filters* over event attributes and "a group is formed of all subscribers
+that share a common subscription".  This module provides that mapping:
+
+* a :class:`Filter` is a conjunction of attribute :class:`Constraint`\\ s
+  with a canonical form, so syntactically equal subscriptions land in the
+  same group;
+* a :class:`ContentIndex` matches events to the filters they satisfy
+  (attribute-indexed for equality constraints, linear for the rest);
+* :class:`ContentLayer` glues filters to an :class:`~repro.core.api.
+  OrderedPubSub`: subscribing to a filter joins its group, publishing an
+  event sends one ordered message per matching group.
+
+Consumers whose filters both match a pair of events therefore observe
+them in the same order — the stock-ticker consistency story, generalized
+beyond fixed topics.
+"""
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Iterable, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.core.api import OrderedPubSub
+
+#: Supported constraint operators.
+OPS = ("eq", "ne", "lt", "le", "gt", "ge", "prefix")
+
+
+@dataclass(frozen=True, order=True)
+class Constraint:
+    """One attribute test, e.g. ``Constraint("price", "lt", 100)``."""
+
+    attribute: str
+    op: str
+    value: Any
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise ValueError(f"unknown op {self.op!r}; expected one of {OPS}")
+
+    def matches(self, event: Dict[str, Any]) -> bool:
+        """Whether an event satisfies this constraint.
+
+        Missing attributes never match; type mismatches (e.g. ordering a
+        str against an int) are treated as non-matches rather than errors,
+        matching content-based-router practice.
+        """
+        if self.attribute not in event:
+            return False
+        actual = event[self.attribute]
+        try:
+            if self.op == "eq":
+                return actual == self.value
+            if self.op == "ne":
+                return actual != self.value
+            if self.op == "lt":
+                return actual < self.value
+            if self.op == "le":
+                return actual <= self.value
+            if self.op == "gt":
+                return actual > self.value
+            if self.op == "ge":
+                return actual >= self.value
+            return isinstance(actual, str) and actual.startswith(str(self.value))
+        except TypeError:
+            return False
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A conjunction of constraints with a canonical identity.
+
+    Two filters constructed from the same constraints (in any order)
+    compare equal and hash equal — they denote the same subscription and
+    therefore the same group.
+    """
+
+    constraints: Tuple[Constraint, ...]
+
+    def __init__(self, constraints: Iterable[Constraint]):
+        object.__setattr__(self, "constraints", tuple(sorted(constraints)))
+
+    @classmethod
+    def where(cls, **equals: Any) -> "Filter":
+        """Shorthand for pure-equality filters: ``Filter.where(sector="tech")``."""
+        return cls(Constraint(k, "eq", v) for k, v in sorted(equals.items()))
+
+    def matches(self, event: Dict[str, Any]) -> bool:
+        """Conjunction semantics: every constraint must hold."""
+        return all(c.matches(event) for c in self.constraints)
+
+    def covers(self, other: "Filter") -> bool:
+        """Conservative covering test: every event matching ``other`` matches us.
+
+        Sound but incomplete: returns True only when every one of our
+        constraints is implied by one of ``other``'s (equality implies
+        looser ranges; tighter ranges imply looser ones on the same
+        attribute).  False negatives only.
+        """
+        return all(
+            any(_implies(theirs, mine) for theirs in other.constraints)
+            for mine in self.constraints
+        )
+
+    def describe(self) -> str:
+        """Stable human-readable form (also the topic key)."""
+        if not self.constraints:
+            return "<match-all>"
+        return " & ".join(
+            f"{c.attribute} {c.op} {c.value!r}" for c in self.constraints
+        )
+
+    def __repr__(self) -> str:
+        return f"Filter({self.describe()})"
+
+
+def _implies(premise: Constraint, conclusion: Constraint) -> bool:
+    """Whether satisfying ``premise`` guarantees ``conclusion``."""
+    if premise.attribute != conclusion.attribute:
+        return False
+    if premise == conclusion:
+        return True
+    try:
+        if premise.op == "eq":
+            # A fixed value implies any constraint that value satisfies.
+            return conclusion.matches({premise.attribute: premise.value})
+        if premise.op in ("lt", "le") and conclusion.op in ("lt", "le"):
+            if conclusion.op == "lt":
+                return (
+                    premise.value < conclusion.value
+                    if premise.op == "le"
+                    else premise.value <= conclusion.value
+                )
+            return premise.value <= conclusion.value
+        if premise.op in ("gt", "ge") and conclusion.op in ("gt", "ge"):
+            if conclusion.op == "gt":
+                return (
+                    premise.value > conclusion.value
+                    if premise.op == "ge"
+                    else premise.value >= conclusion.value
+                )
+            return premise.value >= conclusion.value
+        if premise.op == "prefix" and conclusion.op == "prefix":
+            return str(premise.value).startswith(str(conclusion.value))
+    except TypeError:
+        return False
+    return False
+
+
+class ContentIndex:
+    """Match events against a set of registered filters.
+
+    Filters with at least one equality constraint are indexed by one of
+    their (attribute, value) pairs; the rest are scanned linearly.  For
+    the population sizes of this project (tens of filters) this is plenty;
+    the interface is what matters for the substrate.
+    """
+
+    def __init__(self) -> None:
+        self._filters: Dict[Filter, int] = {}
+        self._eq_index: Dict[Tuple[str, Any], List[Filter]] = {}
+        self._scan: List[Filter] = []
+
+    def add(self, filter_: Filter, key: int) -> None:
+        """Register a filter under an opaque key (its group id)."""
+        if filter_ in self._filters:
+            raise ValueError(f"filter already registered: {filter_}")
+        self._filters[filter_] = key
+        eq = next((c for c in filter_.constraints if c.op == "eq"), None)
+        if eq is not None:
+            self._eq_index.setdefault((eq.attribute, eq.value), []).append(filter_)
+        else:
+            self._scan.append(filter_)
+
+    def remove(self, filter_: Filter) -> None:
+        """Unregister a filter."""
+        self._filters.pop(filter_)
+        for bucket in self._eq_index.values():
+            if filter_ in bucket:
+                bucket.remove(filter_)
+                return
+        if filter_ in self._scan:
+            self._scan.remove(filter_)
+
+    def key_of(self, filter_: Filter) -> int:
+        """The key a filter was registered under."""
+        return self._filters[filter_]
+
+    def matching(self, event: Dict[str, Any]) -> List[int]:
+        """Keys of all filters the event satisfies, sorted."""
+        candidates: List[Filter] = list(self._scan)
+        for attribute, value in event.items():
+            candidates.extend(self._eq_index.get((attribute, value), ()))
+        return sorted(
+            self._filters[f] for f in candidates if f.matches(event)
+        )
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+
+class ContentLayer:
+    """Content-based subscriptions over an :class:`OrderedPubSub`.
+
+    Each distinct filter maps to one topic (its canonical description),
+    hence one group; publishing an event sends one ordered message to
+    every matching group.  Subscribers sharing several filters see common
+    events in a consistent order — the ordering layer's guarantee carried
+    up to the content-based API.
+    """
+
+    def __init__(self, bus: "OrderedPubSub"):
+        self.bus = bus
+        self.index = ContentIndex()
+
+    def subscribe(self, node: int, filter_: Filter) -> int:
+        """Subscribe a node to a filter; returns the filter's group id."""
+        topic = "content/" + filter_.describe()
+        group = self.bus.subscribe(node, topic)
+        if filter_ not in self.index._filters:
+            self.index.add(filter_, group)
+        return group
+
+    def unsubscribe(self, node: int, filter_: Filter) -> None:
+        """Drop a node's filter subscription; deregisters empty filters."""
+        topic = "content/" + filter_.describe()
+        self.bus.unsubscribe(node, topic)
+        group = self.index.key_of(filter_)
+        if not self.bus.membership.has_group(group):
+            self.index.remove(filter_)
+
+    def publish(self, sender: int, event: Dict[str, Any]) -> List[int]:
+        """Send ``event`` to every matching filter group; returns msg ids.
+
+        For causal ordering the sender should subscribe to the matching
+        filters (the bus enforces its ``enforce_causal_sends`` policy per
+        group).
+        """
+        msg_ids = []
+        for group in self.index.matching(event):
+            msg_ids.append(self.bus.publish(sender, group, dict(event)))
+        return msg_ids
+
+    def subscribers_matching(self, event: Dict[str, Any]) -> FrozenSet[int]:
+        """Union of members over all groups the event matches."""
+        members: set = set()
+        for group in self.index.matching(event):
+            members.update(self.bus.membership.members(group))
+        return frozenset(members)

@@ -1,0 +1,151 @@
+"""Deterministic heap-based discrete-event loop.
+
+The simulator executes callbacks at scheduled virtual times.  Two events
+scheduled for the same time fire in the order they were scheduled (stable
+tie-breaking by a monotonically increasing sequence number), which keeps
+simulations reproducible across runs and platforms.
+"""
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is used incorrectly.
+
+    Examples include scheduling an event in the past or re-entrantly
+    calling :meth:`Simulator.run`.
+    """
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Handles are returned by :meth:`Simulator.schedule`.  Cancelling a handle
+    marks the event dead; the simulator skips dead events when they surface
+    at the top of the heap (lazy deletion).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<EventHandle t={self.time:.6f} seq={self.seq} {name} {state}>"
+
+
+class Simulator:
+    """A discrete-event simulator with a virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, node.receive, message)
+        sim.run()
+
+    The clock unit is milliseconds by convention throughout this project
+    (link delays produced by :mod:`repro.topology` are in milliseconds),
+    but the kernel itself is unit-agnostic.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._running: bool = False
+        self.events_executed: int = 0
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now.
+
+        ``delay`` must be non-negative; zero-delay events run after all
+        events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
+        handle = EventHandle(self.now + delay, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        return self.schedule(time - self.now, callback, *args)
+
+    def peek_time(self) -> Optional[float]:
+        """Return the virtual time of the next live event, or ``None``."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Execute the next live event.  Return ``False`` if none remain."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        if event.time < self.now:
+            raise SimulationError(
+                f"event queue corrupted: event at {event.time} < now {self.now}"
+            )
+        self.now = event.time
+        self.events_executed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the number of events executed by this call.  Events scheduled
+        exactly at ``until`` still execute; later ones remain queued.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __repr__(self) -> str:
+        return f"<Simulator now={self.now:.6f} pending={self.pending}>"

@@ -1,0 +1,190 @@
+"""Simulated point-to-point channels and the network that owns them.
+
+Channels model the paper's inter-node communication assumptions:
+
+* **FIFO** — Section 3.1 assumes a FIFO channel between any two sequencers.
+  A channel has a constant propagation delay, and delivery times are forced
+  to be non-decreasing, so FIFO holds even if the delay is later changed.
+* **Propagation delay only** — Section 4.1: "The simulator models the
+  propagation delay between routers, but not packet losses or queuing
+  delays."  Loss is therefore off by default, but can be enabled
+  (``loss_rate > 0``) to exercise the ack/retransmission machinery that
+  Section 3.1 specifies.
+"""
+
+import random
+from typing import Any, Dict, Optional, Tuple
+
+from repro.sim.events import Simulator
+from repro.sim.processes import Process
+
+
+class Channel:
+    """A unidirectional FIFO link between two processes.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to schedule deliveries on.
+    src, dst:
+        Endpoint processes.
+    delay:
+        One-way propagation delay (milliseconds by project convention).
+    loss_rate:
+        Probability in ``[0, 1)`` that a given send is dropped.
+    rng:
+        Random source used for loss decisions; required if ``loss_rate > 0``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Process,
+        dst: Process,
+        delay: float,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if delay < 0:
+            raise ValueError(f"channel delay must be non-negative, got {delay}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if loss_rate > 0 and rng is None:
+            raise ValueError("loss_rate > 0 requires an rng")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.delay = delay
+        self.loss_rate = loss_rate
+        self._rng = rng
+        self._last_delivery_time = 0.0
+        self._down_until = 0.0
+        self.sends = 0
+        self.drops = 0
+        self.bytes_sent = 0
+
+    def fail(self, duration: float) -> None:
+        """Take the link down for ``duration`` time units.
+
+        Packets sent while down are dropped (an outage behaves like 100%
+        loss); an upper reliability layer — e.g. the ordering fabric's
+        retransmission buffers — recovers them after the link heals.
+        """
+        if duration <= 0:
+            raise ValueError(f"outage duration must be positive, got {duration}")
+        self._down_until = max(self._down_until, self.sim.now + duration)
+
+    @property
+    def is_down(self) -> bool:
+        """Whether the link is currently in an outage window."""
+        return self.sim.now < self._down_until
+
+    def send(self, payload: Any, size_bytes: int = 0) -> bool:
+        """Transmit ``payload`` to the destination process.
+
+        Returns ``True`` if the packet was put on the wire, ``False`` if it
+        was dropped by loss injection or a link outage.  ``size_bytes``
+        feeds the overhead accounting used by the stamp-size benchmarks.
+        """
+        self.sends += 1
+        self.src.messages_sent += 1
+        self.bytes_sent += size_bytes
+        if self.is_down:
+            self.drops += 1
+            return False
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            self.drops += 1
+            return False
+        # Enforce FIFO: never deliver before a previously sent packet.
+        arrival = max(self.sim.now + self.delay, self._last_delivery_time)
+        self._last_delivery_time = arrival
+        self.sim.schedule_at(arrival, self._deliver, payload)
+        return True
+
+    def _deliver(self, payload: Any) -> None:
+        self.dst.messages_received += 1
+        self.dst.receive(payload, self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Channel {self.src.name!r}->{self.dst.name!r} "
+            f"delay={self.delay:.3f} sends={self.sends}>"
+        )
+
+
+class Network:
+    """A registry of processes and the channels connecting them.
+
+    The network creates channels on demand from a delay oracle — typically
+    a :class:`~repro.topology.routing.RoutingTable` that returns shortest-
+    path delays between the machines hosting the two processes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        self.sim = sim
+        self.loss_rate = loss_rate
+        self.rng = rng
+        self._processes: Dict[Any, Process] = {}
+        self._channels: Dict[Tuple[Any, Any], Channel] = {}
+
+    def add_process(self, process: Process) -> Process:
+        """Register a process; names must be unique."""
+        if process.name in self._processes:
+            raise ValueError(f"duplicate process name {process.name!r}")
+        self._processes[process.name] = process
+        return process
+
+    def process(self, name: Any) -> Process:
+        """Look up a registered process by name."""
+        return self._processes[name]
+
+    def __contains__(self, name: Any) -> bool:
+        return name in self._processes
+
+    def connect(self, src_name: Any, dst_name: Any, delay: float) -> Channel:
+        """Create (or fetch) the unidirectional channel ``src -> dst``.
+
+        A repeated connect with a different delay is an error: links in a
+        run are immutable, matching the static-topology evaluation model.
+        """
+        key = (src_name, dst_name)
+        existing = self._channels.get(key)
+        if existing is not None:
+            if existing.delay != delay:
+                raise ValueError(
+                    f"channel {key} already exists with delay "
+                    f"{existing.delay}, refusing {delay}"
+                )
+            return existing
+        channel = Channel(
+            self.sim,
+            self._processes[src_name],
+            self._processes[dst_name],
+            delay,
+            loss_rate=self.loss_rate,
+            rng=self.rng,
+        )
+        self._channels[key] = channel
+        return channel
+
+    def channel(self, src_name: Any, dst_name: Any) -> Channel:
+        """Fetch an existing channel; raises ``KeyError`` if absent."""
+        return self._channels[(src_name, dst_name)]
+
+    @property
+    def channels(self) -> Dict[Tuple[Any, Any], Channel]:
+        """Read-only view of all channels (for metrics)."""
+        return dict(self._channels)
+
+    def total_bytes_sent(self) -> int:
+        """Aggregate wire bytes across all channels."""
+        return sum(c.bytes_sent for c in self._channels.values())
+
+    def total_sends(self) -> int:
+        """Aggregate packet transmissions across all channels."""
+        return sum(c.sends for c in self._channels.values())

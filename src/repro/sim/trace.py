@@ -1,0 +1,75 @@
+"""Structured tracing of simulation events.
+
+The metrics layer (:mod:`repro.metrics`) computes latency stretch, RDP, and
+load figures from traces rather than by instrumenting protocol code, which
+keeps the protocol implementation uncluttered and lets baselines share the
+same analysis pipeline.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single traced occurrence.
+
+    Attributes
+    ----------
+    time:
+        Virtual time of the occurrence.
+    kind:
+        A short category string, e.g. ``"publish"``, ``"deliver"``,
+        ``"sequence"``, ``"forward"``.
+    data:
+        Free-form payload; by convention a dict with at least ``msg`` for
+        message-scoped records.
+    """
+
+    time: float
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """An append-only log of :class:`TraceRecord` with simple querying."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+        self._counts: Dict[str, int] = {}
+
+    def record(self, time: float, kind: str, **data: Any) -> None:
+        """Append one record (no-op when tracing is disabled)."""
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if self.enabled:
+            self._records.append(TraceRecord(time, kind, data))
+
+    def count(self, kind: str) -> int:
+        """Number of records of ``kind`` (counted even when disabled)."""
+        return self._counts.get(kind, 0)
+
+    def select(self, kind: Optional[str] = None, **filters: Any) -> List[TraceRecord]:
+        """Return records matching ``kind`` and all data-field filters."""
+        return list(self.iter_select(kind, **filters))
+
+    def iter_select(
+        self, kind: Optional[str] = None, **filters: Any
+    ) -> Iterator[TraceRecord]:
+        """Lazily yield records matching ``kind`` and data-field filters."""
+        for record in self._records:
+            if kind is not None and record.kind != kind:
+                continue
+            if all(record.data.get(k) == v for k, v in filters.items()):
+                yield record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def clear(self) -> None:
+        """Drop all records and counters."""
+        self._records.clear()
+        self._counts.clear()

@@ -1,0 +1,102 @@
+"""Waxman random-graph topology generation.
+
+GT-ITM's other family besides transit–stub: routers scattered uniformly on
+a plane, with an edge between routers ``u`` and ``v`` created with the
+Waxman probability
+
+    P(u, v) = alpha * exp(-d(u, v) / (beta * L)),
+
+where ``d`` is Euclidean distance and ``L`` the plane diagonal.  Unlike
+transit–stub, Waxman graphs are flat (no delay hierarchy), which makes
+them a useful sensitivity check: the ordering protocol's *correctness*
+never depends on topology, and the experiments can be re-run on Waxman to
+confirm the latency shapes are not artifacts of the transit–stub
+hierarchy.
+
+The generator guarantees connectivity by seeding a random spanning tree
+before the Waxman trials, like :mod:`repro.topology.gtitm` does for its
+sub-domains.
+"""
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.topology.gtitm import Topology
+
+
+@dataclass(frozen=True)
+class WaxmanParams:
+    """Shape parameters for :func:`generate_waxman`."""
+
+    n_nodes: int = 400
+    #: Waxman alpha: overall edge density.
+    alpha: float = 0.15
+    #: Waxman beta: how quickly edge probability decays with distance
+    #: (larger beta -> more long-distance links).
+    beta: float = 0.2
+    #: side length of the coordinate plane, in delay units (milliseconds)
+    plane_size: float = 100.0
+    #: lower bound on any link delay
+    min_delay: float = 1.0
+
+
+def generate_waxman(
+    params: Optional[WaxmanParams] = None,
+    seed: int = 0,
+) -> Topology:
+    """Generate a connected Waxman random topology.
+
+    Returns the same :class:`~repro.topology.gtitm.Topology` structure as
+    the transit–stub generator (``transit_nodes`` and ``stub_of`` are
+    empty: the graph is flat), so routing, host attachment, and all
+    experiments work unchanged.
+    """
+    if params is None:
+        params = WaxmanParams()
+    if params.n_nodes < 2:
+        raise ValueError(f"need at least 2 nodes, got {params.n_nodes}")
+    rng = random.Random(seed)
+    size = params.plane_size
+    coords: List[Tuple[float, float]] = [
+        (rng.uniform(0, size), rng.uniform(0, size)) for _ in range(params.n_nodes)
+    ]
+    diagonal = math.hypot(size, size)
+
+    def delay(u: int, v: int) -> float:
+        return max(
+            math.hypot(coords[u][0] - coords[v][0], coords[u][1] - coords[v][1]),
+            params.min_delay,
+        )
+
+    edges: List[Tuple[int, int, float]] = []
+    seen = set()
+
+    def add(u: int, v: int) -> None:
+        key = (min(u, v), max(u, v))
+        if u == v or key in seen:
+            return
+        seen.add(key)
+        edges.append((u, v, delay(u, v)))
+
+    # Connectivity backbone: random spanning tree.
+    order = list(range(params.n_nodes))
+    rng.shuffle(order)
+    for i in range(1, len(order)):
+        add(order[i], order[rng.randrange(i)])
+
+    # Waxman trials over all pairs.
+    for u in range(params.n_nodes):
+        for v in range(u + 1, params.n_nodes):
+            p = params.alpha * math.exp(-delay(u, v) / (params.beta * diagonal))
+            if rng.random() < p:
+                add(u, v)
+
+    return Topology(
+        n_nodes=params.n_nodes,
+        coords=coords,
+        edges=edges,
+        transit_nodes=[],
+        stub_of={},
+    )

@@ -1,0 +1,33 @@
+"""Workload generation for experiments and examples.
+
+* :mod:`repro.workloads.zipf` — the paper's primary membership model
+  (Section 4.1): group sizes follow a Zipf distribution with exponent 1,
+  matching the popularity of online communities.
+* :mod:`repro.workloads.occupancy` — the worst-case model of Section 4.5:
+  each (node, group) membership is an independent coin flip with the given
+  expected occupancy.
+* :mod:`repro.workloads.scenarios` — the application workloads motivating
+  the paper (Section 1.1): a region-partitioned multiplayer game, a
+  filtered stock ticker, and a chat/presence messaging system.
+"""
+
+from repro.workloads.occupancy import occupancy_membership
+from repro.workloads.replay import WorkloadTrace
+from repro.workloads.scenarios import (
+    GameWorld,
+    MessagingScenario,
+    PublishEvent,
+    StockTickerScenario,
+)
+from repro.workloads.zipf import zipf_group_sizes, zipf_membership
+
+__all__ = [
+    "GameWorld",
+    "MessagingScenario",
+    "PublishEvent",
+    "StockTickerScenario",
+    "WorkloadTrace",
+    "occupancy_membership",
+    "zipf_group_sizes",
+    "zipf_membership",
+]

@@ -1,0 +1,40 @@
+"""Expected-occupancy membership model (paper Section 4.5).
+
+"We define the expected occupancy as a measure of the density of the group
+membership.  The value of the expected occupancy can be interpreted as the
+probability that a node is member of a group: an occupancy of 0 means that
+all groups are empty, while an occupancy of 1 means that every node
+subscribes to every group."
+
+Each (node, group) pair is an independent Bernoulli trial with success
+probability equal to the occupancy.  Groups that end up empty are dropped
+(an empty group does not exist in the membership matrix).
+"""
+
+import random
+from typing import Dict, FrozenSet, Optional
+
+
+def occupancy_membership(
+    n_hosts: int,
+    n_groups: int,
+    occupancy: float,
+    rng: Optional[random.Random] = None,
+) -> Dict[int, FrozenSet[int]]:
+    """A membership snapshot where P[node in group] = ``occupancy``.
+
+    Group ids are dense ``0 ..`` over the non-empty groups.
+    """
+    if not 0.0 <= occupancy <= 1.0:
+        raise ValueError(f"occupancy must be in [0, 1], got {occupancy}")
+    rng = rng or random.Random(0)
+    snapshot: Dict[int, FrozenSet[int]] = {}
+    next_id = 0
+    for _ in range(n_groups):
+        members = frozenset(
+            host for host in range(n_hosts) if rng.random() < occupancy
+        )
+        if members:
+            snapshot[next_id] = members
+            next_id += 1
+    return snapshot

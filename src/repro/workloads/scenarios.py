@@ -1,0 +1,284 @@
+"""Application scenario generators (the paper's Section 1.1 motivations).
+
+Each scenario produces a group membership layout over a host population
+plus a publish schedule, so examples and integration tests can exercise
+the ordering layer on workloads shaped like the paper's motivating
+applications:
+
+* :class:`GameWorld` — a multiplayer game whose virtual world is divided
+  into regions; players subscribe to the regions within their area of
+  interest, so nearby players share multiple region groups and must see
+  common events in the same order.
+* :class:`StockTickerScenario` — trades flow to filter-defined consumer
+  groups (by sector, by region, by market-cap bucket); consumers applying
+  the same updates must apply them in the same order.
+* :class:`MessagingScenario` — chat rooms and presence feeds; responses
+  should follow the messages they respond to (causal order).
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+
+@dataclass
+class PublishEvent:
+    """One scheduled publish: who sends what to which group."""
+
+    sender: int
+    group: int
+    payload: object
+
+
+class GameWorld:
+    """A grid of regions with players whose interest areas overlap.
+
+    Parameters
+    ----------
+    width, height:
+        Grid dimensions; each cell is a region (one group per region with
+        at least two interested players).
+    n_players:
+        Player population.
+    interest_radius:
+        Players subscribe to all regions within Chebyshev distance
+        ``interest_radius`` of their own cell — adjacent players therefore
+        share several region groups (double overlaps).
+    rng:
+        Random source for player placement.
+    """
+
+    def __init__(
+        self,
+        width: int = 4,
+        height: int = 4,
+        n_players: int = 24,
+        interest_radius: int = 1,
+        rng: Optional[random.Random] = None,
+    ):
+        self.width = width
+        self.height = height
+        self.n_players = n_players
+        self.interest_radius = interest_radius
+        self._rng = rng or random.Random(0)
+        self.player_cell: Dict[int, Tuple[int, int]] = {
+            player: (self._rng.randrange(width), self._rng.randrange(height))
+            for player in range(n_players)
+        }
+
+    def region_id(self, x: int, y: int) -> int:
+        """Dense region (group) id for a grid cell."""
+        return y * self.width + x
+
+    def regions_of(self, player: int) -> List[int]:
+        """Regions within the player's area of interest."""
+        px, py = self.player_cell[player]
+        regions = []
+        for y in range(
+            max(0, py - self.interest_radius),
+            min(self.height, py + self.interest_radius + 1),
+        ):
+            for x in range(
+                max(0, px - self.interest_radius),
+                min(self.width, px + self.interest_radius + 1),
+            ):
+                regions.append(self.region_id(x, y))
+        return regions
+
+    def membership(self) -> Dict[int, FrozenSet[int]]:
+        """Region groups with at least two interested players."""
+        members: Dict[int, set] = {}
+        for player in range(self.n_players):
+            for region in self.regions_of(player):
+                members.setdefault(region, set()).add(player)
+        return {
+            region: frozenset(players)
+            for region, players in sorted(members.items())
+            if len(players) >= 2
+        }
+
+    def publish_schedule(self, n_events: int) -> List[PublishEvent]:
+        """Random in-game events: each player publishes to its own region.
+
+        Publishing to one's own region keeps senders inside their
+        destination groups, so the resulting order is causal.
+        """
+        membership = self.membership()
+        events: List[PublishEvent] = []
+        players = [
+            p
+            for p in range(self.n_players)
+            if self.region_id(*self.player_cell[p]) in membership
+        ]
+        if not players:
+            return events
+        actions = ("move", "shoot", "pickup", "emote")
+        for index in range(n_events):
+            player = self._rng.choice(players)
+            region = self.region_id(*self.player_cell[player])
+            events.append(
+                PublishEvent(
+                    sender=player,
+                    group=region,
+                    payload={"action": self._rng.choice(actions), "tick": index},
+                )
+            )
+        return events
+
+
+@dataclass
+class StockTickerScenario:
+    """Consumers subscribe to filter groups over a universe of stocks.
+
+    Filters follow the paper's examples: company size, geography, and
+    industry.  A trade for a stock goes to every group whose filter
+    matches, and consumers subscribing to several filters see consistent
+    update order.
+    """
+
+    n_consumers: int = 32
+    n_stocks: int = 12
+    sectors: Tuple[str, ...] = ("tech", "energy", "finance")
+    regions: Tuple[str, ...] = ("us", "eu", "asia")
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def __post_init__(self) -> None:
+        self.stock_attrs: Dict[int, Dict[str, str]] = {
+            stock: {
+                "sector": self.rng.choice(self.sectors),
+                "region": self.rng.choice(self.regions),
+                "cap": self.rng.choice(("large", "small")),
+            }
+            for stock in range(self.n_stocks)
+        }
+        # Each filter value is one group; consumers pick 1-3 filters.
+        self.filters: List[Tuple[str, str]] = (
+            [("sector", s) for s in self.sectors]
+            + [("region", r) for r in self.regions]
+            + [("cap", c) for c in ("large", "small")]
+        )
+        self.consumer_filters: Dict[int, List[int]] = {
+            consumer: sorted(
+                self.rng.sample(range(len(self.filters)), self.rng.randint(1, 3))
+            )
+            for consumer in range(self.n_consumers)
+        }
+
+    def membership(self) -> Dict[int, FrozenSet[int]]:
+        """One group per filter with at least two subscribed consumers."""
+        members: Dict[int, set] = {}
+        for consumer, filter_ids in self.consumer_filters.items():
+            for filter_id in filter_ids:
+                members.setdefault(filter_id, set()).add(consumer)
+        return {
+            filter_id: frozenset(consumers)
+            for filter_id, consumers in sorted(members.items())
+            if len(consumers) >= 2
+        }
+
+    def groups_for_stock(self, stock: int) -> List[int]:
+        """Filter groups matching one stock's attributes."""
+        attrs = self.stock_attrs[stock]
+        return [
+            filter_id
+            for filter_id, (key, value) in enumerate(self.filters)
+            if attrs.get(key) == value and filter_id in self.membership()
+        ]
+
+    def trade_schedule(self, n_trades: int) -> List[PublishEvent]:
+        """Random trades; the publisher is a member of the target group.
+
+        Real tickers have an external publisher; modelling the publisher
+        as a group member keeps the causal-send requirement satisfied
+        without changing the ordering behaviour consumers observe.
+        """
+        membership = self.membership()
+        events: List[PublishEvent] = []
+        for index in range(n_trades):
+            stock = self.rng.randrange(self.n_stocks)
+            matching = [g for g in self.groups_for_stock(stock) if g in membership]
+            if not matching:
+                continue
+            group = self.rng.choice(matching)
+            sender = self.rng.choice(sorted(membership[group]))
+            events.append(
+                PublishEvent(
+                    sender=sender,
+                    group=group,
+                    payload={"stock": stock, "trade_id": index},
+                )
+            )
+        return events
+
+
+@dataclass
+class MessagingScenario:
+    """Chat rooms plus per-user presence feeds.
+
+    Users join a handful of rooms; every user's buddies subscribe to the
+    user's presence group.  Room chatter and presence flips interleave,
+    and the ordering layer makes replies follow the messages they answer.
+    """
+
+    n_users: int = 20
+    n_rooms: int = 5
+    rooms_per_user: int = 2
+    buddies_per_user: int = 3
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def __post_init__(self) -> None:
+        self.user_rooms: Dict[int, List[int]] = {
+            user: sorted(
+                self.rng.sample(range(self.n_rooms), min(self.rooms_per_user, self.n_rooms))
+            )
+            for user in range(self.n_users)
+        }
+        self.buddies: Dict[int, List[int]] = {}
+        for user in range(self.n_users):
+            others = [u for u in range(self.n_users) if u != user]
+            self.buddies[user] = sorted(
+                self.rng.sample(others, min(self.buddies_per_user, len(others)))
+            )
+
+    def presence_group_id(self, user: int) -> int:
+        """Group id of a user's presence feed (rooms occupy 0..n_rooms-1)."""
+        return self.n_rooms + user
+
+    def membership(self) -> Dict[int, FrozenSet[int]]:
+        """Room groups and presence groups with >= 2 members.
+
+        The presence publisher subscribes to its own feed (causal sends);
+        buddies are the other members.
+        """
+        members: Dict[int, set] = {}
+        for user, rooms in self.user_rooms.items():
+            for room in rooms:
+                members.setdefault(room, set()).add(user)
+        for user, buddy_list in self.buddies.items():
+            feed = {user} | set(buddy_list)
+            members[self.presence_group_id(user)] = feed
+        return {
+            group: frozenset(people)
+            for group, people in sorted(members.items())
+            if len(people) >= 2
+        }
+
+    def chat_schedule(self, n_events: int) -> List[PublishEvent]:
+        """Interleaved room messages and presence flips."""
+        membership = self.membership()
+        events: List[PublishEvent] = []
+        for index in range(n_events):
+            user = self.rng.randrange(self.n_users)
+            if self.rng.random() < 0.3:
+                group = self.presence_group_id(user)
+                payload = {"presence": self.rng.choice(("online", "offline"))}
+            else:
+                rooms = [r for r in self.user_rooms[user] if r in membership]
+                if not rooms:
+                    continue
+                group = self.rng.choice(rooms)
+                payload = {"text": f"msg-{index}"}
+            if group not in membership or user not in membership[group]:
+                continue
+            events.append(PublishEvent(sender=user, group=group, payload=payload))
+        return events

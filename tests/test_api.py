@@ -1,0 +1,136 @@
+"""Tests for the OrderedPubSub facade."""
+
+import pytest
+
+from repro import OrderedPubSub, OrderingViolation
+
+
+@pytest.fixture()
+def bus():
+    return OrderedPubSub(n_hosts=8, seed=1)
+
+
+def test_subscribe_and_publish_by_topic(bus):
+    bus.subscribe(0, "t")
+    bus.subscribe(1, "t")
+    bus.publish(0, "t", "hi")
+    bus.run()
+    assert bus.delivered_payloads(1) == ["hi"]
+
+
+def test_publish_by_group_id(bus):
+    group = bus.create_group([0, 1, 2])
+    bus.publish(0, group, "x")
+    bus.run()
+    assert bus.delivered_payloads(2) == ["x"]
+
+
+def test_causal_send_enforced(bus):
+    bus.subscribe(0, "t")
+    bus.subscribe(1, "t")
+    with pytest.raises(OrderingViolation):
+        bus.publish(5, "t", "intruder")
+
+
+def test_non_member_send_allowed_when_disabled():
+    bus = OrderedPubSub(n_hosts=8, seed=1, enforce_causal_sends=False)
+    group = bus.create_group([0, 1])
+    bus.publish(5, group, "outside")
+    bus.run()
+    assert bus.delivered_payloads(1) == ["outside"]
+
+
+def test_unknown_host_rejected(bus):
+    with pytest.raises(KeyError):
+        bus.subscribe(99, "t")
+    with pytest.raises(KeyError):
+        bus.publish(99, "t")
+
+
+def test_unknown_topic_rejected(bus):
+    from repro.pubsub.membership import MembershipError
+
+    bus.subscribe(0, "known")
+    with pytest.raises(MembershipError):
+        bus.publish(0, "unknown")
+
+
+def test_membership_change_rebuilds_fabric(bus):
+    group = bus.create_group([0, 1])
+    bus.publish(0, group, "a")
+    bus.run()
+    fabric_before = bus.fabric
+    bus.create_group([2, 3])
+    assert bus._dirty
+    bus.publish(0, group, "b")
+    assert bus.fabric is not fabric_before
+    bus.run()
+    assert bus.delivered_payloads(1) == ["a", "b"]
+
+
+def test_delivery_history_survives_rebuild(bus):
+    group = bus.create_group([0, 1])
+    bus.publish(0, group, "epoch1")
+    bus.run()
+    bus.create_group([2, 3])  # forces rebuild on next publish
+    bus.publish(0, group, "epoch2")
+    bus.run()
+    assert bus.delivered_payloads(1) == ["epoch1", "epoch2"]
+
+
+def test_rebuild_mid_flight_rejected(bus):
+    group = bus.create_group([0, 1])
+    bus.publish(0, group, "inflight")
+    # Membership change while the message is still undelivered...
+    bus.create_group([2, 3])
+    with pytest.raises(OrderingViolation):
+        bus.publish(0, group, "boom")
+
+
+def test_unsubscribe_updates_groups(bus):
+    bus.subscribe(0, "t")
+    bus.subscribe(1, "t")
+    bus.subscribe(2, "t")
+    bus.unsubscribe(2, "t")
+    group = bus.broker.group_for("t")
+    assert bus.membership.members(group) == frozenset({0, 1})
+
+
+def test_now_advances(bus):
+    assert bus.now == 0.0
+    group = bus.create_group([0, 1])
+    bus.publish(0, group)
+    bus.run()
+    assert bus.now > 0
+
+
+def test_run_without_fabric_is_noop():
+    bus = OrderedPubSub(n_hosts=4, seed=0)
+    assert bus.run() == 0
+
+
+def test_loss_rate_propagates():
+    bus = OrderedPubSub(n_hosts=8, seed=2, loss_rate=0.2)
+    group = bus.create_group([0, 1, 2])
+    bus.publish(0, group, "lossy")
+    bus.run()
+    assert bus.fabric.reliable
+    assert bus.delivered_payloads(2) == ["lossy"]
+
+
+def test_seed_reproducibility():
+    def run_once():
+        bus = OrderedPubSub(n_hosts=8, seed=3)
+        g0 = bus.create_group([0, 1, 2])
+        g1 = bus.create_group([1, 2, 3])
+        bus.publish(0, g0, "a")
+        bus.publish(3, g1, "b")
+        bus.run()
+        return [(r.msg_id, r.time) for r in bus.delivered(1)]
+
+    assert run_once() == run_once()
+
+
+def test_delivered_unknown_host_rejected(bus):
+    with pytest.raises(KeyError):
+        bus.delivered(50)

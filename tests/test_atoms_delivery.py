@@ -1,0 +1,216 @@
+"""Unit tests for atom runtime state and receiver delivery logic."""
+
+import pytest
+
+from repro.core.atoms import AtomRuntime, build_atom_runtimes
+from repro.core.delivery import DeliveryState
+from repro.core.messages import AtomId, Message, Stamp
+from repro.core.sequencing_graph import SequencingGraph
+
+
+def build(snapshot, **kwargs):
+    return SequencingGraph.build(
+        {g: frozenset(m) for g, m in snapshot.items()}, **kwargs
+    )
+
+
+TRIANGLE = {0: {0, 1, 3}, 1: {0, 1, 2}, 2: {1, 2, 3}}
+
+
+# ---------------------------------------------------------------------------
+# AtomRuntime
+# ---------------------------------------------------------------------------
+
+
+def test_overlap_seq_monotonic():
+    runtime = AtomRuntime(AtomId.overlap(0, 1))
+    assert [runtime.next_overlap_seq() for _ in range(3)] == [1, 2, 3]
+
+
+def test_group_local_counters_independent():
+    runtime = AtomRuntime(AtomId.overlap(0, 1))
+    assert runtime.next_group_local_seq(0) == 1
+    assert runtime.next_group_local_seq(1) == 1
+    assert runtime.next_group_local_seq(0) == 2
+
+
+def test_build_runtimes_wires_forwarding_tables():
+    graph = build(TRIANGLE)
+    runtimes = build_atom_runtimes(graph)
+    for group in graph.groups():
+        path = graph.group_path(group)
+        assert runtimes[path[0]].prev_atom[group] is None
+        assert runtimes[path[-1]].next_atom[group] is None
+        for a, b in zip(path, path[1:]):
+            assert runtimes[a].next_atom[group] == b
+            assert runtimes[b].prev_atom[group] == a
+
+
+def test_process_assigns_group_local_at_ingress():
+    graph = build(TRIANGLE)
+    runtimes = build_atom_runtimes(graph)
+    group = 0
+    path = graph.group_path(group)
+    msg = Message(1, group, sender=0)
+    runtimes[path[0]].process(msg)
+    assert msg.group_seq == 1
+
+
+def test_process_stamps_own_groups_only():
+    graph = build(TRIANGLE)
+    runtimes = build_atom_runtimes(graph)
+    # Find a group with a pass-through atom (the triangle always has one).
+    group = next(g for g in graph.groups() if graph.pass_through_atoms(g))
+    msg = Message(1, group, sender=0)
+    current = graph.group_path(group)[0]
+    while current is not None:
+        current = runtimes[current].process(msg)
+    stamped = {atom for atom, _ in msg.atom_seqs}
+    assert stamped == set(graph.atoms_of_group(group))
+
+
+def test_process_pass_through_counts():
+    graph = build(TRIANGLE)
+    runtimes = build_atom_runtimes(graph)
+    group = next(g for g in graph.groups() if graph.pass_through_atoms(g))
+    passthrough = graph.pass_through_atoms(group)[0]
+    msg = Message(1, group, sender=0)
+    current = graph.group_path(group)[0]
+    while current is not None:
+        current = runtimes[current].process(msg)
+    assert runtimes[passthrough].messages_passed_through == 1
+
+
+def test_process_unknown_group_rejected():
+    runtime = AtomRuntime(AtomId.overlap(0, 1))
+    with pytest.raises(KeyError):
+        runtime.process(Message(1, 5, sender=0))
+
+
+def test_ingress_only_atom_runtime():
+    graph = build({0: {1, 2}})
+    runtimes = build_atom_runtimes(graph)
+    atom = AtomId.ingress(0)
+    msg = Message(1, 0, sender=1)
+    assert runtimes[atom].process(msg) is None
+    assert msg.group_seq == 1
+    assert msg.atom_seqs == ()
+
+
+def test_runtime_repr():
+    runtime = AtomRuntime(AtomId.overlap(0, 1))
+    assert "Q(0,1)" in repr(runtime)
+
+
+# ---------------------------------------------------------------------------
+# DeliveryState
+# ---------------------------------------------------------------------------
+
+
+def q(g, h):
+    return AtomId.overlap(g, h)
+
+
+def test_in_order_group_sequence_delivers():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    out1 = state.on_receive(Stamp(0, 1))
+    out2 = state.on_receive(Stamp(0, 2))
+    assert len(out1) == len(out2) == 1
+
+
+def test_gap_buffers_until_filled():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    assert state.on_receive(Stamp(0, 2)) == []
+    assert state.pending == 1
+    released = state.on_receive(Stamp(0, 1))
+    assert [s.group_seq for s, _ in released] == [1, 2]
+    assert state.pending == 0
+
+
+def test_relevant_atom_gates_delivery():
+    state = DeliveryState(0, groups=[0, 1], relevant_atoms=[q(0, 1)])
+    # Message to group 1 holding atom seq 2 must wait for seq 1 (group 0).
+    assert state.on_receive(Stamp(1, 1, ((q(0, 1), 2),))) == []
+    released = state.on_receive(Stamp(0, 1, ((q(0, 1), 1),)))
+    assert [s.group for s, _ in released] == [0, 1]
+
+
+def test_irrelevant_atom_ignored():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    # Stamp carries an atom this receiver is not in: ignored entirely.
+    out = state.on_receive(Stamp(0, 1, ((q(0, 1), 42),)))
+    assert len(out) == 1
+
+
+def test_unsubscribed_group_rejected():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    with pytest.raises(KeyError):
+        state.on_receive(Stamp(5, 1))
+
+
+def test_deliverable_is_pure_check():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    stamp = Stamp(0, 1)
+    assert state.deliverable(stamp)
+    assert state.deliverable(stamp)  # no side effects
+    assert state.expected_group_seq(0) == 1
+
+
+def test_counters_advance_on_delivery():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[q(0, 1)])
+    state.on_receive(Stamp(0, 1, ((q(0, 1), 1),)))
+    assert state.expected_group_seq(0) == 2
+    # Next atom seq expected is 2: a stamp with atom seq 3 must wait.
+    assert state.on_receive(Stamp(0, 2, ((q(0, 1), 3),))) == []
+
+
+def test_chained_release():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    assert state.on_receive(Stamp(0, 3)) == []
+    assert state.on_receive(Stamp(0, 2)) == []
+    released = state.on_receive(Stamp(0, 1))
+    assert [s.group_seq for s, _ in released] == [1, 2, 3]
+
+
+def test_cross_group_independent_sequences():
+    state = DeliveryState(0, groups=[0, 1], relevant_atoms=[])
+    out_a = state.on_receive(Stamp(0, 1))
+    out_b = state.on_receive(Stamp(1, 1))
+    assert len(out_a) == len(out_b) == 1
+
+
+def test_payload_carried_through():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    released = state.on_receive(Stamp(0, 1), payload="hello")
+    assert released[0][1] == "hello"
+
+
+def test_buffered_high_water():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    state.on_receive(Stamp(0, 3))
+    state.on_receive(Stamp(0, 2))
+    assert state.buffered_high_water == 2
+
+
+def test_pending_stamps():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    state.on_receive(Stamp(0, 5))
+    assert [s.group_seq for s in state.pending_stamps()] == [5]
+
+
+def test_delivered_count():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    for seq in (1, 2, 3):
+        state.on_receive(Stamp(0, seq))
+    assert state.delivered_count == 3
+
+
+def test_subscribes_to():
+    state = DeliveryState(0, groups=[3], relevant_atoms=[])
+    assert state.subscribes_to(3)
+    assert not state.subscribes_to(4)
+
+
+def test_repr():
+    state = DeliveryState(7, groups=[0], relevant_atoms=[])
+    assert "host=7" in repr(state)

@@ -1,0 +1,219 @@
+"""Tests for content-based subscriptions (filters, index, layer)."""
+
+import itertools
+
+import pytest
+
+from repro import OrderedPubSub
+from repro.pubsub.content import Constraint, ContentIndex, ContentLayer, Filter
+
+# ---------------------------------------------------------------------------
+# Constraint
+# ---------------------------------------------------------------------------
+
+
+def test_constraint_eq():
+    c = Constraint("sector", "eq", "tech")
+    assert c.matches({"sector": "tech"})
+    assert not c.matches({"sector": "energy"})
+    assert not c.matches({})
+
+
+def test_constraint_ranges():
+    assert Constraint("price", "lt", 100).matches({"price": 99})
+    assert not Constraint("price", "lt", 100).matches({"price": 100})
+    assert Constraint("price", "le", 100).matches({"price": 100})
+    assert Constraint("price", "gt", 10).matches({"price": 11})
+    assert Constraint("price", "ge", 10).matches({"price": 10})
+    assert Constraint("price", "ne", 5).matches({"price": 6})
+
+
+def test_constraint_prefix():
+    c = Constraint("symbol", "prefix", "AA")
+    assert c.matches({"symbol": "AAPL"})
+    assert not c.matches({"symbol": "MSFT"})
+    assert not c.matches({"symbol": 42})
+
+
+def test_constraint_type_mismatch_is_nonmatch():
+    assert not Constraint("price", "lt", 100).matches({"price": "cheap"})
+
+
+def test_constraint_unknown_op_rejected():
+    with pytest.raises(ValueError):
+        Constraint("a", "like", "x")
+
+
+# ---------------------------------------------------------------------------
+# Filter
+# ---------------------------------------------------------------------------
+
+
+def test_filter_conjunction():
+    f = Filter([Constraint("sector", "eq", "tech"), Constraint("price", "lt", 100)])
+    assert f.matches({"sector": "tech", "price": 50})
+    assert not f.matches({"sector": "tech", "price": 150})
+
+
+def test_filter_canonical_identity():
+    a = Filter([Constraint("x", "eq", 1), Constraint("y", "eq", 2)])
+    b = Filter([Constraint("y", "eq", 2), Constraint("x", "eq", 1)])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a.describe() == b.describe()
+
+
+def test_filter_where_shorthand():
+    assert Filter.where(sector="tech") == Filter([Constraint("sector", "eq", "tech")])
+
+
+def test_empty_filter_matches_everything():
+    assert Filter([]).matches({"anything": 1})
+    assert Filter([]).describe() == "<match-all>"
+
+
+def test_filter_covers_eq_implies_range():
+    broad = Filter([Constraint("price", "lt", 100)])
+    narrow = Filter([Constraint("price", "eq", 50)])
+    assert broad.covers(narrow)
+    assert not narrow.covers(broad)
+
+
+def test_filter_covers_tighter_range():
+    broad = Filter([Constraint("price", "lt", 100)])
+    tight = Filter([Constraint("price", "lt", 50)])
+    assert broad.covers(tight)
+    assert not tight.covers(broad)
+
+
+def test_filter_covers_prefix():
+    broad = Filter([Constraint("symbol", "prefix", "A")])
+    tight = Filter([Constraint("symbol", "prefix", "AAP")])
+    assert broad.covers(tight)
+    assert not tight.covers(broad)
+
+
+def test_filter_covers_unrelated_attributes():
+    a = Filter([Constraint("x", "eq", 1)])
+    b = Filter([Constraint("y", "eq", 1)])
+    assert not a.covers(b)
+
+
+def test_match_all_covers_anything():
+    assert Filter([]).covers(Filter.where(x=1))
+
+
+# ---------------------------------------------------------------------------
+# ContentIndex
+# ---------------------------------------------------------------------------
+
+
+def test_index_matches_eq_and_scan():
+    index = ContentIndex()
+    index.add(Filter.where(sector="tech"), 0)
+    index.add(Filter([Constraint("price", "lt", 100)]), 1)
+    assert index.matching({"sector": "tech", "price": 200}) == [0]
+    assert index.matching({"sector": "tech", "price": 50}) == [0, 1]
+    assert index.matching({"sector": "energy", "price": 50}) == [1]
+
+
+def test_index_duplicate_rejected():
+    index = ContentIndex()
+    index.add(Filter.where(x=1), 0)
+    with pytest.raises(ValueError):
+        index.add(Filter.where(x=1), 1)
+
+
+def test_index_remove():
+    index = ContentIndex()
+    f = Filter.where(x=1)
+    index.add(f, 0)
+    index.remove(f)
+    assert index.matching({"x": 1}) == []
+    assert len(index) == 0
+
+
+def test_index_remove_scan_filter():
+    index = ContentIndex()
+    f = Filter([Constraint("p", "lt", 5)])
+    index.add(f, 3)
+    index.remove(f)
+    assert index.matching({"p": 1}) == []
+
+
+# ---------------------------------------------------------------------------
+# ContentLayer over the ordered bus
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def layer():
+    bus = OrderedPubSub(n_hosts=12, seed=5, enforce_causal_sends=False)
+    return ContentLayer(bus)
+
+
+def test_layer_subscribe_same_filter_same_group(layer):
+    g1 = layer.subscribe(0, Filter.where(sector="tech"))
+    g2 = layer.subscribe(1, Filter.where(sector="tech"))
+    assert g1 == g2
+    assert layer.bus.membership.members(g1) == frozenset({0, 1})
+
+
+def test_layer_publish_routes_to_matching_groups(layer):
+    layer.subscribe(0, Filter.where(sector="tech"))
+    layer.subscribe(1, Filter.where(sector="tech"))
+    layer.subscribe(2, Filter([Constraint("price", "lt", 100)]))
+    layer.subscribe(3, Filter([Constraint("price", "lt", 100)]))
+    ids = layer.publish(0, {"sector": "tech", "price": 50})
+    layer.bus.run()
+    assert len(ids) == 2  # one ordered message per matching group
+    assert len(layer.bus.delivered(1)) == 1  # tech only
+    assert len(layer.bus.delivered(2)) == 1  # price only
+    # The publisher subscribes only to tech, so it receives exactly one
+    # copy (its own) despite the event matching two groups.
+    assert len(layer.bus.delivered(0)) == 1
+
+
+def test_layer_exact_delivery_counts(layer):
+    layer.subscribe(0, Filter.where(kind="a"))
+    layer.subscribe(1, Filter.where(kind="a"))
+    layer.publish(0, {"kind": "a"})
+    layer.publish(0, {"kind": "b"})  # matches nothing
+    layer.bus.run()
+    assert len(layer.bus.delivered(0)) == 1
+    assert len(layer.bus.delivered(1)) == 1
+
+
+def test_layer_overlapping_filters_consistent_order(layer):
+    # Hosts 0 and 1 subscribe to BOTH filters -> double overlap -> their
+    # common events must arrive in the same order.
+    tech = Filter.where(sector="tech")
+    cheap = Filter([Constraint("price", "lt", 100)])
+    for host in (0, 1):
+        layer.subscribe(host, tech)
+        layer.subscribe(host, cheap)
+    layer.subscribe(2, tech)
+    layer.subscribe(3, cheap)
+    for i in range(10):
+        event = {"sector": "tech", "price": 150} if i % 2 else {"sector": "fin", "price": 10}
+        layer.publish(0, event)
+    layer.bus.run()
+    for a, b in itertools.combinations(range(4), 2):
+        seq_a = [r.msg_id for r in layer.bus.delivered(a)]
+        seq_b = [r.msg_id for r in layer.bus.delivered(b)]
+        common = set(seq_a) & set(seq_b)
+        assert [m for m in seq_a if m in common] == [m for m in seq_b if m in common]
+
+
+def test_layer_unsubscribe_cleans_index(layer):
+    f = Filter.where(x=1)
+    layer.subscribe(0, f)
+    layer.unsubscribe(0, f)
+    assert layer.publish(1, {"x": 1}) == []
+
+
+def test_layer_subscribers_matching(layer):
+    layer.subscribe(0, Filter.where(x=1))
+    layer.subscribe(1, Filter([Constraint("y", "gt", 5)]))
+    assert layer.subscribers_matching({"x": 1, "y": 10}) == frozenset({0, 1})
+    assert layer.subscribers_matching({"x": 2, "y": 1}) == frozenset()

@@ -1,0 +1,222 @@
+"""Unit tests for atom co-location and machine assignment (Section 3.4)."""
+
+import random
+
+import pytest
+
+from repro.core.messages import AtomId
+from repro.core.placement import (
+    Placement,
+    SequencingNode,
+    assign_machines,
+    co_locate_atoms,
+    co_locate_and_order,
+    place,
+    random_placement,
+)
+from repro.core.sequencing_graph import SequencingGraph
+from repro.topology.clusters import attach_hosts, host_router_map
+
+
+def build(snapshot, **kwargs):
+    return SequencingGraph.build(
+        {g: frozenset(m) for g, m in snapshot.items()}, **kwargs
+    )
+
+
+TRIANGLE = {0: {0, 1, 3}, 1: {0, 1, 2}, 2: {1, 2, 3}}
+
+
+# ---------------------------------------------------------------------------
+# Co-location
+# ---------------------------------------------------------------------------
+
+
+def test_every_atom_co_located_exactly_once():
+    graph = build(TRIANGLE)
+    nodes = co_locate_atoms(graph)
+    placed = [a for node in nodes for a in node.atom_ids]
+    assert sorted(placed) == sorted(graph.atoms)
+
+
+def test_subset_rule_merges():
+    # overlap(0,1) = {1,2,3}; overlap(0,2) = {1,2} — subset relation.
+    graph = build({0: {1, 2, 3, 4}, 1: {1, 2, 3, 5}, 2: {1, 2, 6, 7}})
+    nodes = co_locate_atoms(graph)
+    node_of = {}
+    for node in nodes:
+        for atom in node.atom_ids:
+            node_of[atom] = node.node_id
+    assert node_of[AtomId.overlap(0, 1)] == node_of[AtomId.overlap(0, 2)]
+
+
+def test_shared_member_rule_merges():
+    graph = build(TRIANGLE)
+    nodes = [n for n in co_locate_atoms(graph) if not n.ingress_only]
+    # Node 1 (B) is in all three overlaps; with the anchor choice seeded at 0
+    # all three atoms share some anchor node, so few sequencing nodes result.
+    assert 1 <= len(nodes) <= 3
+
+
+def test_disjoint_overlaps_stay_apart():
+    graph = build({0: {1, 2}, 1: {1, 2}, 2: {8, 9}, 3: {8, 9}})
+    nodes = [n for n in co_locate_atoms(graph) if not n.ingress_only]
+    assert len(nodes) == 2
+
+
+def test_ingress_only_atoms_get_own_nodes():
+    graph = build({0: {1, 2}, 1: {8, 9}})
+    nodes = co_locate_atoms(graph)
+    assert all(n.ingress_only for n in nodes)
+    assert len(nodes) == 2
+
+
+def test_colocated_groups_share_a_member():
+    # The paper's scalability argument: all groups a node forwards share
+    # at least one subscriber (via their overlaps' anchor chains).
+    rng = random.Random(5)
+    snapshot = {g: set(rng.sample(range(30), rng.randint(4, 12))) for g in range(10)}
+    graph = build(snapshot)
+    for node in co_locate_atoms(graph, rng=random.Random(0)):
+        if node.ingress_only or len(node.atom_ids) == 1:
+            continue
+        members = [graph.atoms[a].overlap_members for a in node.atom_ids]
+        union_rest = frozenset().union(*members[1:])
+        # Weaker but testable form: the node's overlaps are chained through
+        # common members (each overlap intersects the union of the others).
+        for current in members:
+            others = [m for m in members if m is not current]
+            assert current & frozenset().union(*others)
+
+
+def test_placement_rejects_double_colocation():
+    atom = AtomId.overlap(0, 1)
+    nodes = [
+        SequencingNode(0, [atom]),
+        SequencingNode(1, [atom]),
+    ]
+    with pytest.raises(ValueError):
+        Placement(nodes)
+
+
+def test_sequencing_nodes_excludes_ingress_by_default():
+    graph = build({0: {1, 2, 3}, 1: {2, 3, 4}, 2: {8, 9}})
+    placement = Placement(co_locate_atoms(graph))
+    assert all(not n.ingress_only for n in placement.sequencing_nodes())
+    assert len(placement.sequencing_nodes(include_ingress_only=True)) > len(
+        placement.sequencing_nodes()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Machine assignment
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def placed(small_topology, routing):
+    rng = random.Random(0)
+    hosts = attach_hosts(small_topology, 16, rng=rng)
+    snapshot = {
+        0: {0, 1, 2, 3, 4},
+        1: {3, 4, 5, 6},
+        2: {5, 6, 7, 8},
+        3: {14, 15},
+    }
+    graph = build(snapshot)
+    placement = place(
+        graph, host_router_map(hosts), small_topology, routing, rng=random.Random(1)
+    )
+    return graph, placement, hosts
+
+
+def test_all_nodes_get_machines(placed):
+    _graph, placement, _hosts = placed
+    assert all(node.machine is not None for node in placement.nodes)
+
+
+def test_machine_of_atom(placed):
+    graph, placement, _hosts = placed
+    for atom in graph.atoms:
+        machine = placement.machine_of(atom)
+        assert 0 <= machine
+
+
+def test_machine_of_unassigned_rejected():
+    graph = build(TRIANGLE)
+    placement = Placement(co_locate_atoms(graph))
+    with pytest.raises(ValueError):
+        placement.machine_of(graph.overlap_atoms()[0])
+
+
+def test_machines_near_subscribers(placed, small_topology, routing):
+    # Every sequencing node's machine should be within a modest delay of
+    # some subscriber of a group it serves (seeded at members, walked to
+    # neighbors).
+    graph, placement, hosts = placed
+    router_of = {h.host_id: h.router for h in hosts}
+    diameter = max(
+        routing.delay(hosts[0].router, h.router) for h in hosts
+    )
+    for node in placement.sequencing_nodes():
+        groups = {g for a in node.atom_ids for g in a.groups}
+        best = min(
+            routing.delay(node.machine, router_of[m])
+            for g in groups
+            for m in graph.members(g)
+        )
+        assert best <= diameter
+
+
+def test_placement_deterministic(small_topology, routing):
+    hosts = attach_hosts(small_topology, 16, rng=random.Random(0))
+    snapshot = {0: {0, 1, 2, 3}, 1: {2, 3, 4, 5}}
+    machines = []
+    for _ in range(2):
+        graph = build(snapshot, rng=random.Random(9))
+        placement = place(
+            graph, host_router_map(hosts), small_topology, routing, rng=random.Random(9)
+        )
+        machines.append([n.machine for n in placement.nodes])
+    assert machines[0] == machines[1]
+
+
+def test_random_placement_covers_all_atoms(small_topology):
+    graph = build(TRIANGLE)
+    placement = random_placement(graph, small_topology, rng=random.Random(0))
+    assert len(placement.nodes) == len(graph.atoms)
+    assert all(n.machine is not None for n in placement.nodes)
+
+
+def test_colocate_and_order_makes_blocks_contiguous():
+    rng = random.Random(8)
+    snapshot = {g: set(rng.sample(range(40), rng.randint(5, 20))) for g in range(12)}
+    graph = build(snapshot)
+    nodes = co_locate_and_order(graph, rng=random.Random(1))
+    block_of = {a: n.node_id for n in nodes for a in n.atom_ids}
+    graph.validate()
+    for chain in graph.chains:
+        blocks = [block_of[a] for a in chain]
+        seen = set()
+        previous = None
+        for block in blocks:
+            if block != previous:
+                assert block not in seen, "block split across the chain"
+                seen.add(block)
+                previous = block
+
+
+def test_assign_machines_with_prebuilt_nodes(small_topology, routing):
+    hosts = attach_hosts(small_topology, 8, rng=random.Random(0))
+    graph = build({0: {0, 1, 2}, 1: {1, 2, 3}})
+    nodes = co_locate_atoms(graph)
+    placement = assign_machines(
+        nodes, graph, host_router_map(hosts), small_topology, routing
+    )
+    assert all(n.machine is not None for n in placement.nodes)
+
+
+def test_len_placement():
+    graph = build(TRIANGLE)
+    placement = Placement(co_locate_atoms(graph))
+    assert len(placement) == len(placement.nodes)

@@ -1,0 +1,236 @@
+"""Tests for workload replay, result export, and the Waxman topology."""
+
+import itertools
+import random
+
+import networkx as nx
+import pytest
+
+from repro.experiments.export import (
+    ascii_cdf,
+    ascii_xy,
+    cdf_rows,
+    export_figure,
+    write_csv,
+)
+from repro.topology.clusters import attach_hosts
+from repro.topology.routing import RoutingTable
+from repro.topology.waxman import WaxmanParams, generate_waxman
+from repro.workloads.replay import WorkloadTrace
+from repro.workloads.scenarios import GameWorld, PublishEvent
+
+# ---------------------------------------------------------------------------
+# WorkloadTrace
+# ---------------------------------------------------------------------------
+
+
+def small_trace():
+    membership = {0: frozenset({0, 1, 2}), 1: frozenset({1, 2, 3})}
+    events = [
+        PublishEvent(0, 0, {"n": 1}),
+        PublishEvent(3, 1, {"n": 2}),
+        PublishEvent(1, 0, None),
+    ]
+    return WorkloadTrace.from_schedule(membership, events, name="small")
+
+
+def test_trace_roundtrip_json():
+    trace = small_trace()
+    restored = WorkloadTrace.from_json(trace.to_json())
+    assert restored.membership == trace.membership
+    assert restored.name == "small"
+    assert [(e.sender, e.group, e.payload) for e in restored.events] == [
+        (e.sender, e.group, e.payload) for e in trace.events
+    ]
+
+
+def test_trace_save_load(tmp_path):
+    trace = small_trace()
+    path = trace.save(tmp_path / "w.json")
+    assert WorkloadTrace.load(path).membership == trace.membership
+
+
+def test_trace_rejects_unknown_version():
+    with pytest.raises(ValueError):
+        WorkloadTrace.from_json('{"version": 99, "membership": {}, "events": []}')
+
+
+def test_trace_validate_detects_bad_sender():
+    trace = small_trace()
+    trace.events.append(PublishEvent(9, 0, None))
+    with pytest.raises(ValueError):
+        trace.validate()
+
+
+def test_trace_validate_detects_bad_group():
+    trace = small_trace()
+    trace.events.append(PublishEvent(0, 42, None))
+    with pytest.raises(ValueError):
+        trace.validate()
+
+
+def test_trace_n_hosts():
+    assert small_trace().n_hosts() == 4
+
+
+def test_trace_replay_into_fabric(env32):
+    trace = small_trace()
+    fabric = env32.build_fabric(env32.membership_from(trace.membership))
+    published = trace.replay(fabric)
+    assert published == 3
+    assert fabric.pending_messages() == {}
+    # Concurrent publishes are ordered by ingress arrival, so assert the
+    # message *set* and that members agree on the order.
+    group0 = [r.msg_id for r in fabric.delivered(2) if r.stamp.group == 0]
+    assert len(group0) == 2
+    for member in (0, 1):
+        assert [
+            r.msg_id for r in fabric.delivered(member) if r.stamp.group == 0
+        ] == group0
+
+
+def test_trace_replay_limit_and_isolation(env32):
+    trace = small_trace()
+    fabric = env32.build_fabric(env32.membership_from(trace.membership))
+    assert trace.replay(fabric, run_between=True, limit=1) == 1
+    assert len(fabric.delivered(0)) == 1
+
+
+def test_trace_from_scenario_validates():
+    world = GameWorld(n_players=12, rng=random.Random(0))
+    trace = WorkloadTrace.from_schedule(
+        world.membership(), world.publish_schedule(20), name="game"
+    )
+    trace.validate()
+
+
+def test_trace_replay_same_result_on_baselines(env32):
+    """The same trace replayed on our protocol and the central sequencer
+    delivers the same message sets (order may differ)."""
+    from repro.baselines.central_sequencer import CentralSequencerFabric
+
+    trace = small_trace()
+    ours = env32.build_fabric(env32.membership_from(trace.membership))
+    central = CentralSequencerFabric(
+        env32.membership_from(trace.membership), env32.hosts, env32.routing
+    )
+    trace.replay(ours)
+    trace.replay(central)
+    for host in range(4):
+        assert sorted(r.msg_id for r in ours.delivered(host)) == sorted(
+            r.msg_id for r in central.delivered(host)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Export helpers
+# ---------------------------------------------------------------------------
+
+
+def test_write_csv(tmp_path):
+    path = write_csv(tmp_path / "x.csv", ["a", "b"], [[1, 2], [3, 4]])
+    assert path.read_text().splitlines() == ["a,b", "1,2", "3,4"]
+
+
+def test_cdf_rows_fractions():
+    rows = cdf_rows({"s": [3.0, 1.0]})
+    assert rows == [("s", 1.0, 0.5), ("s", 3.0, 1.0)]
+
+
+def test_ascii_cdf_renders():
+    plot = ascii_cdf({"a": [1, 2, 3], "b": [2, 4, 6]}, title="T")
+    assert plot.startswith("T")
+    assert "*=a" in plot
+    assert "o=b" in plot
+
+
+def test_ascii_cdf_empty():
+    assert ascii_cdf({}, title="empty") == "empty"
+
+
+def test_ascii_xy_renders():
+    plot = ascii_xy({"line": [(0, 0), (1, 1), (2, 4)]}, title="XY")
+    assert "XY" in plot
+    assert "*=line" in plot
+
+
+def test_export_figure_requires_exactly_one(tmp_path):
+    with pytest.raises(ValueError):
+        export_figure("f", tmp_path)
+    with pytest.raises(ValueError):
+        export_figure("f", tmp_path, samples={"a": [1]}, xy={"a": [(1, 2)]})
+
+
+def test_export_figure_samples(tmp_path):
+    paths = export_figure("fig", tmp_path, samples={"a": [1.0, 2.0]})
+    assert paths[0].name == "fig_cdf.csv"
+    assert "series,value,cum_fraction" in paths[0].read_text()
+
+
+def test_export_figure_xy(tmp_path):
+    paths = export_figure("fig", tmp_path, xy={"a": [(1.0, 2.0)]})
+    assert paths[0].name == "fig_xy.csv"
+
+
+# ---------------------------------------------------------------------------
+# Waxman topology
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def waxman():
+    return generate_waxman(WaxmanParams(n_nodes=200), seed=3)
+
+
+def test_waxman_node_count(waxman):
+    assert waxman.n_nodes == 200
+    assert len(waxman.coords) == 200
+
+
+def test_waxman_connected(waxman):
+    graph = nx.Graph()
+    graph.add_nodes_from(range(waxman.n_nodes))
+    graph.add_edges_from((u, v) for u, v, _ in waxman.edges)
+    assert nx.is_connected(graph)
+
+
+def test_waxman_deterministic():
+    a = generate_waxman(WaxmanParams(n_nodes=50), seed=1)
+    b = generate_waxman(WaxmanParams(n_nodes=50), seed=1)
+    assert a.edges == b.edges
+
+
+def test_waxman_min_nodes_rejected():
+    with pytest.raises(ValueError):
+        generate_waxman(WaxmanParams(n_nodes=1))
+
+
+def test_waxman_delay_floor(waxman):
+    assert all(d >= 1.0 for _, _, d in waxman.edges)
+
+
+def test_waxman_is_flat(waxman):
+    assert waxman.transit_nodes == []
+    assert waxman.stub_of == {}
+
+
+def test_waxman_supports_full_stack(waxman):
+    """End-to-end: ordering protocol over a Waxman underlay."""
+    from repro.core.protocol import OrderingFabric
+    from repro.pubsub.membership import GroupMembership
+
+    routing = RoutingTable(waxman)
+    hosts = attach_hosts(waxman, 8, rng=random.Random(0))
+    membership = GroupMembership()
+    membership.create_group([0, 1, 2, 3], group_id=0)
+    membership.create_group([2, 3, 4, 5], group_id=1)
+    fabric = OrderingFabric(membership, hosts, waxman, routing)
+    fabric.publish(0, 0, "w")
+    fabric.publish(2, 1, "x")
+    fabric.run()
+    assert fabric.pending_messages() == {}
+    for a, b in itertools.combinations(range(8), 2):
+        seq_a = [r.msg_id for r in fabric.delivered(a)]
+        seq_b = [r.msg_id for r in fabric.delivered(b)]
+        common = set(seq_a) & set(seq_b)
+        assert [m for m in seq_a if m in common] == [m for m in seq_b if m in common]

@@ -1,0 +1,273 @@
+"""Unit tests for sequencing-graph construction (C1/C2) and ordering."""
+
+import random
+
+import pytest
+
+from repro.core.messages import AtomId
+from repro.core.sequencing_graph import (
+    GraphInvariantError,
+    SequencingGraph,
+    block_extent_cost,
+    pass_through_cost,
+)
+
+
+def build(snapshot, **kwargs):
+    return SequencingGraph.build(
+        {g: frozenset(m) for g, m in snapshot.items()}, **kwargs
+    )
+
+
+TRIANGLE = {0: {0, 1, 3}, 1: {0, 1, 2}, 2: {1, 2, 3}}
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+def test_single_group_gets_ingress_only_atom():
+    graph = build({0: {1, 2, 3}})
+    assert graph.group_path(0) == [AtomId.ingress(0)]
+    assert graph.overlap_atoms() == []
+
+
+def test_two_overlapping_groups_one_atom():
+    graph = build({0: {1, 2, 3}, 1: {2, 3, 4}})
+    atom = AtomId.overlap(0, 1)
+    assert graph.overlap_atoms() == [atom]
+    assert graph.group_path(0) == [atom]
+    assert graph.group_path(1) == [atom]
+
+
+def test_overlapped_groups_lose_ingress_only_atoms():
+    graph = build({0: {1, 2, 3}, 1: {2, 3, 4}})
+    assert AtomId.ingress(0) not in graph.atoms
+    assert AtomId.ingress(1) not in graph.atoms
+
+
+def test_non_overlapping_group_keeps_ingress():
+    graph = build({0: {1, 2, 3}, 1: {2, 3, 4}, 2: {8, 9}})
+    assert graph.group_path(2) == [AtomId.ingress(2)]
+
+
+def test_triangle_forms_single_chain():
+    graph = build(TRIANGLE)
+    assert len(graph.chains) == 1
+    assert len(graph.chains[0]) == 3
+    graph.validate()
+
+
+def test_triangle_middle_group_passes_through():
+    # Whatever the chain order, the group whose two atoms sit at the ends
+    # passes through the middle atom (the paper's Figure 2(b) fix).
+    graph = build(TRIANGLE)
+    chain = graph.chains[0]
+    ends_groups = set(chain[0].groups) & set(chain[2].groups)
+    assert len(ends_groups) == 1
+    group = ends_groups.pop()
+    assert graph.pass_through_atoms(group) == [chain[1]]
+
+
+def test_atom_specs_hold_intersections():
+    graph = build(TRIANGLE)
+    assert graph.atoms[AtomId.overlap(0, 1)].overlap_members == frozenset({0, 1})
+    assert graph.atoms[AtomId.overlap(1, 2)].overlap_members == frozenset({1, 2})
+
+
+def test_group_path_is_contiguous_chain_segment():
+    graph = build(TRIANGLE)
+    chain = graph.chains[0]
+    for group in graph.groups():
+        path = graph.group_path(group)
+        start = chain.index(path[0])
+        assert chain[start : start + len(path)] == path
+
+
+def test_ingress_atom_is_first_of_path():
+    graph = build(TRIANGLE)
+    for group in graph.groups():
+        path = graph.group_path(group)
+        assert graph.ingress_atom(group) == path[0]
+        assert path[0].sequences_group(group)
+
+
+def test_path_endpoints_sequence_group():
+    graph = build(TRIANGLE)
+    for group in graph.groups():
+        path = graph.group_path(group)
+        assert path[0].sequences_group(group)
+        assert path[-1].sequences_group(group)
+
+
+def test_separate_clusters_separate_chains():
+    graph = build({0: {1, 2}, 1: {1, 2}, 2: {8, 9}, 3: {8, 9}})
+    assert len(graph.chains) == 2
+
+
+def test_relevant_atoms_of_node():
+    graph = build(TRIANGLE)
+    # Node 1 (B) is in every pairwise overlap.
+    assert set(graph.relevant_atoms_of(1)) == {
+        AtomId.overlap(0, 1),
+        AtomId.overlap(0, 2),
+        AtomId.overlap(1, 2),
+    }
+    # Node 0 (A) only in overlap of groups 0 and 1.
+    assert graph.relevant_atoms_of(0) == [AtomId.overlap(0, 1)]
+
+
+def test_unknown_group_path_rejected():
+    graph = build(TRIANGLE)
+    with pytest.raises(KeyError):
+        graph.group_path(99)
+
+
+def test_edges_are_chain_links():
+    graph = build(TRIANGLE)
+    chain = graph.chains[0]
+    assert graph.edges() == list(zip(chain, chain[1:]))
+
+
+def test_optimize_none_is_valid():
+    graph = build(TRIANGLE, optimize="none")
+    graph.validate()
+    assert graph.chains[0] == sorted(graph.chains[0])
+
+
+def test_optimize_local_is_valid():
+    snapshot = {g: set(range(g, g + 4)) for g in range(6)}
+    graph = build(snapshot, optimize="local")
+    graph.validate()
+
+
+def test_unknown_optimize_rejected():
+    with pytest.raises(ValueError):
+        SequencingGraph(optimize="magic")
+
+
+def test_deterministic_given_seed():
+    snapshot = {g: set(random.Random(g).sample(range(30), 8)) for g in range(8)}
+    a = build(snapshot, rng=random.Random(3))
+    b = build(snapshot, rng=random.Random(3))
+    assert a.chains == b.chains
+
+
+# ---------------------------------------------------------------------------
+# Invariants (C1 / C2)
+# ---------------------------------------------------------------------------
+
+
+def test_validate_accepts_random_memberships():
+    rng = random.Random(0)
+    for trial in range(20):
+        snapshot = {
+            g: frozenset(rng.sample(range(20), rng.randint(2, 10)))
+            for g in range(rng.randint(1, 10))
+        }
+        graph = build(snapshot)
+        graph.validate()
+
+
+def test_validate_rejects_duplicate_atom_in_chains():
+    graph = build(TRIANGLE)
+    graph.chains.append([graph.chains[0][0]])
+    with pytest.raises(GraphInvariantError):
+        graph.validate()
+
+
+def test_validate_rejects_split_group():
+    graph = build(TRIANGLE)
+    chain = graph.chains[0]
+    graph.chains = [chain[:1], chain[1:]]
+    with pytest.raises(GraphInvariantError):
+        graph.validate()
+
+
+def test_validate_rejects_unknown_atom():
+    graph = build(TRIANGLE)
+    graph.chains[0].append(AtomId.overlap(50, 51))
+    with pytest.raises(GraphInvariantError):
+        graph.validate()
+
+
+def test_validate_rejects_stale_active_atom():
+    graph = build({0: {1, 2, 3}, 1: {2, 3, 4}})
+    # Shrink the overlap behind the graph's back.
+    graph._group_members[0] = frozenset({1, 2})
+    graph._group_members[1] = frozenset({3, 4})
+    with pytest.raises(GraphInvariantError):
+        graph.validate()
+
+
+def test_c2_no_cycles_in_any_random_build():
+    import networkx as nx
+
+    rng = random.Random(7)
+    for _ in range(10):
+        snapshot = {
+            g: frozenset(rng.sample(range(24), rng.randint(3, 12)))
+            for g in range(10)
+        }
+        graph = build(snapshot)
+        undirected = nx.Graph(graph.edges())
+        assert nx.is_forest(undirected) or undirected.number_of_nodes() == 0
+
+
+# ---------------------------------------------------------------------------
+# Cost functions and ordering quality
+# ---------------------------------------------------------------------------
+
+
+def test_pass_through_cost_zero_when_contiguous():
+    a, b = AtomId.overlap(0, 1), AtomId.overlap(0, 2)
+    cost = pass_through_cost([a, b], {0: [a, b], 1: [a], 2: [b]})
+    assert cost == 0
+
+
+def test_pass_through_cost_counts_gaps():
+    a, b, c = AtomId.overlap(0, 1), AtomId.overlap(2, 3), AtomId.overlap(0, 4)
+    cost = pass_through_cost([a, b, c], {0: [a, c]})
+    assert cost == 1  # b sits inside group 0's extent
+
+
+def test_block_extent_cost():
+    groups = {"x": frozenset({0}), "y": frozenset({0, 1}), "z": frozenset({1})}
+    assert block_extent_cost(["x", "y", "z"], groups) == 2 + 2  # g0 spans 2, g1 spans 2
+    assert block_extent_cost(["x", "z", "y"], groups) == 3 + 2
+
+
+def test_greedy_not_worse_than_sorted_on_average():
+    rng = random.Random(1)
+    worse = 0
+    trials = 12
+    for t in range(trials):
+        snapshot = {
+            g: frozenset(rng.sample(range(30), rng.randint(4, 15)))
+            for g in range(10)
+        }
+        greedy = build(snapshot, optimize="greedy")
+        naive = build(snapshot, optimize="none")
+
+        def total_cost(graph):
+            return sum(len(graph.pass_through_atoms(g)) for g in graph.groups())
+
+        if total_cost(greedy) > total_cost(naive):
+            worse += 1
+    assert worse <= trials // 3
+
+
+def test_reorder_for_colocation_preserves_validity():
+    snapshot = {g: set(random.Random(g).sample(range(30), 10)) for g in range(8)}
+    graph = build(snapshot)
+    atoms = graph.overlap_atoms()
+    # Arbitrary 2-block partition.
+    block_of = {a: (0 if i % 2 else 1) for i, a in enumerate(atoms)}
+    graph.reorder_for_colocation(block_of)
+    graph.validate()
+    # Blocks are contiguous runs on each chain.
+    for chain in graph.chains:
+        blocks = [block_of[a] for a in chain]
+        transitions = sum(1 for x, y in zip(blocks, blocks[1:]) if x != y)
+        assert transitions <= 1

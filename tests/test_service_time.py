@@ -1,0 +1,110 @@
+"""Tests for the service-time (queuing) model at sequencing machines."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines.central_sequencer import CentralSequencerFabric
+from repro.pubsub.membership import GroupMembership
+
+
+def triangle_membership():
+    membership = GroupMembership()
+    membership.create_group([0, 1, 3], group_id=0)
+    membership.create_group([0, 1, 2], group_id=1)
+    membership.create_group([1, 2, 3], group_id=2)
+    return membership
+
+
+def test_negative_service_time_rejected(env32):
+    with pytest.raises(ValueError):
+        env32.build_fabric(triangle_membership(), service_time=-1.0)
+
+
+def test_service_time_adds_latency(env32):
+    fast = env32.build_fabric(triangle_membership(), service_time=0.0)
+    slow = env32.build_fabric(triangle_membership(), service_time=5.0)
+    for fabric in (fast, slow):
+        fabric.publish(0, 0)
+        fabric.run()
+    t_fast = fast.delivered(3)[0].time - fast.delivered(3)[0].publish_time
+    t_slow = slow.delivered(3)[0].time - slow.delivered(3)[0].publish_time
+    assert t_slow > t_fast
+    # Each machine visit costs at least one service quantum.
+    assert t_slow >= t_fast + 5.0
+
+
+def test_queue_builds_under_burst(env32):
+    fabric = env32.build_fabric(triangle_membership(), service_time=2.0)
+    for i in range(20):
+        fabric.publish(0, 0, i)
+    fabric.run()
+    assert max(p.queue_high_water for p in fabric.node_processes.values()) > 1
+    assert fabric.pending_messages() == {}
+
+
+def test_ordering_consistent_with_service_time(env32):
+    fabric = env32.build_fabric(triangle_membership(), service_time=1.5)
+    rng = random.Random(0)
+    for _ in range(30):
+        group = rng.choice([0, 1, 2])
+        sender = rng.choice(sorted(fabric.membership.members(group)))
+        fabric.publish(sender, group)
+    fabric.run()
+    assert fabric.pending_messages() == {}
+    for a, b in itertools.combinations(range(4), 2):
+        seq_a = [r.msg_id for r in fabric.delivered(a)]
+        seq_b = [r.msg_id for r in fabric.delivered(b)]
+        common = set(seq_a) & set(seq_b)
+        assert [m for m in seq_a if m in common] == [m for m in seq_b if m in common]
+
+
+def test_per_sender_fifo_with_service_time(env32):
+    fabric = env32.build_fabric(triangle_membership(), service_time=1.0)
+    for i in range(8):
+        fabric.publish(0, 0, i)
+    fabric.run()
+    assert [r.payload for r in fabric.delivered(3)] == list(range(8))
+
+
+def test_service_time_with_loss(env32):
+    fabric = env32.build_fabric(
+        triangle_membership(), service_time=1.0, loss_rate=0.2, seed=3
+    )
+    for i in range(6):
+        fabric.publish(0, 0, i)
+    fabric.run()
+    assert fabric.pending_messages() == {}
+    assert [r.payload for r in fabric.delivered(3)] == list(range(6))
+
+
+def test_coordinator_service_time_queues(env32):
+    fabric = CentralSequencerFabric(
+        triangle_membership(), env32.hosts, env32.routing, service_time=2.0
+    )
+    for i in range(15):
+        fabric.publish(0, 0, i)
+    fabric.run()
+    assert fabric.coordinator.queue_high_water > 1
+    assert fabric.coordinator_load() == 15
+    # Delivery order still consistent (single FIFO server).
+    for member in (0, 1, 3):
+        assert [r.payload for r in fabric.delivered(member)] == list(range(15))
+
+
+def test_coordinator_saturation_latency_grows(env32):
+    membership = triangle_membership()
+
+    def run_at_gap(gap_ms):
+        fabric = CentralSequencerFabric(
+            membership, env32.hosts, env32.routing, service_time=5.0
+        )
+        for i in range(30):
+            fabric.sim.schedule(i * gap_ms, fabric.publish, 0, 0, i)
+        fabric.run()
+        last = fabric.delivered(3)[-1]
+        return last.time - last.publish_time
+
+    # Offered interval below the 5 ms service time -> queueing delay grows.
+    assert run_at_gap(1.0) > run_at_gap(10.0)
