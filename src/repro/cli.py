@@ -9,6 +9,10 @@ Subcommands::
                                      # sequencing graph / placement
     repro workload record out.json --hosts 32 --groups 8 --events 50
     repro workload replay out.json   # replay a saved workload, verify order
+    repro trace run --hosts 32 --groups 8 --out run.jsonl \
+                    --chrome run.trace.json --metrics metrics.prom
+                                     # instrumented run: lifecycle spans,
+                                     # Perfetto trace, Prometheus metrics
 
 Also runnable as ``python -m repro.cli``.
 """
@@ -118,6 +122,53 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0 if not stuck and violations == 0 else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import exporters
+    from repro.obs import spans as spans_mod
+    from repro.obs.registry import MetricsRegistry
+
+    env = ExperimentEnv(n_hosts=args.hosts, seed=args.seed)
+    rng = random.Random(args.seed)
+    snapshot = zipf_membership(args.hosts, args.groups, rng=rng)
+    membership = env.membership_from(snapshot)
+    registry = MetricsRegistry()
+    fabric = env.build_fabric(
+        membership, seed=args.seed, trace=True, registry=registry
+    )
+    groups = sorted(snapshot)
+    for _ in range(args.events):
+        group = rng.choice(groups)
+        sender = rng.choice(sorted(snapshot[group]))
+        fabric.publish(sender, group)
+        if args.gap > 0:
+            fabric.run(until=fabric.sim.now + args.gap)
+    fabric.run()
+    stuck = fabric.pending_messages()
+
+    span_map = spans_mod.build_spans(fabric.trace)
+    breakdown = spans_mod.phase_breakdown_by_group(span_map)
+    print(
+        f"published {args.events} messages over {len(groups)} groups "
+        f"({args.hosts} hosts); {fabric.sim.events_executed} events, "
+        f"{len(fabric.trace)} trace records"
+    )
+    print()
+    print("per-group mean phase latency breakdown:")
+    print(spans_mod.render_phase_table(breakdown))
+    if args.out:
+        path = exporters.write_trace_jsonl(fabric.trace, args.out)
+        print(f"trace JSONL written to {path}")
+    if args.chrome:
+        path = exporters.write_chrome_trace(fabric.trace, args.chrome)
+        print(f"Chrome trace (Perfetto-loadable) written to {path}")
+    if args.metrics:
+        path = exporters.write_prometheus(registry, args.metrics)
+        print(f"Prometheus metrics written to {path}")
+    if stuck:
+        print(f"WARNING: undelivered messages at {stuck}")
+    return 0 if not stuck else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -148,6 +199,29 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--events", type=int, default=50)
     workload.add_argument("--seed", type=int, default=0)
     workload.set_defaults(func=_cmd_workload)
+
+    trace = sub.add_parser(
+        "trace", help="run an instrumented workload and export observability data"
+    )
+    trace.add_argument("action", choices=("run",))
+    trace.add_argument("--hosts", type=int, default=32)
+    trace.add_argument("--groups", type=int, default=8)
+    trace.add_argument("--events", type=int, default=100)
+    trace.add_argument(
+        "--gap",
+        type=float,
+        default=0.5,
+        help="virtual ms to advance between publishes (0 = burst)",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", default=None, help="write trace JSONL here")
+    trace.add_argument(
+        "--chrome", default=None, help="write Chrome trace-event JSON here"
+    )
+    trace.add_argument(
+        "--metrics", default=None, help="write Prometheus-style metrics here"
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -45,6 +45,8 @@ class AtomRuntime:
         self.messages_sequenced = 0
         #: messages forwarded without stamping (pass-through)
         self.messages_passed_through = 0
+        #: total messages processed (stamped + passed through)
+        self.visits = 0
 
     def next_overlap_seq(self) -> int:
         """Allocate the next number in the overlap sequence space."""
@@ -70,6 +72,7 @@ class AtomRuntime:
             raise KeyError(
                 f"atom {self.atom_id} has no forwarding state for group {group}"
             )
+        self.visits += 1
         is_ingress = self.prev_atom[group] is None
         if is_ingress and message.group_seq is None:
             message.assign_group_seq(self.next_group_local_seq(group))

@@ -48,6 +48,10 @@ class DeliveryState:
         self._buffer: List[Tuple[Stamp, object]] = []
         self.delivered_count = 0
         self.buffered_high_water = 0
+        #: optional observer called with the new buffer depth after every
+        #: size change — lets :mod:`repro.obs` keep live occupancy gauges
+        #: without polling (None = no overhead beyond one attribute check)
+        self.on_occupancy = None
 
     def resume_from(
         self,
@@ -115,6 +119,7 @@ class DeliveryState:
         not yet deliverable is buffered and the list is empty.
         """
         delivered: List[Tuple[Stamp, object]] = []
+        depth_before = len(self._buffer)
         if self.deliverable(stamp):
             self._consume(stamp)
             delivered.append((stamp, payload))
@@ -122,6 +127,8 @@ class DeliveryState:
         else:
             self._buffer.append((stamp, payload))
             self.buffered_high_water = max(self.buffered_high_water, len(self._buffer))
+        if self.on_occupancy is not None and len(self._buffer) != depth_before:
+            self.on_occupancy(len(self._buffer))
         return delivered
 
     def _drain_buffer(self) -> List[Tuple[Stamp, object]]:

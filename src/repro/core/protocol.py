@@ -26,7 +26,10 @@ sequencing proof depends on.
 """
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids obs coupling
+    from repro.obs.registry import MetricsRegistry
 
 from repro.core.atoms import AtomRuntime, build_atom_runtimes
 from repro.core.delivery import DeliveryState
@@ -385,6 +388,17 @@ class SequencingNodeProcess(Process):
 
     def process_at(self, atom_id: AtomId, message: Message) -> None:
         """Run the message through co-located atoms until it leaves."""
+        trace = self.fabric.trace
+        if trace.enabled:
+            # Guarded: hop records are high-volume, so the disabled path
+            # must not even pack the kwargs (see the Trace contract).
+            trace.record(
+                self.sim.now,
+                "seq_hop",
+                msg=message.msg_id,
+                node=self.node_id,
+                atom=repr(atom_id),
+            )
         current = atom_id
         while True:
             runtime = self.atom_runtimes.get(current)
@@ -440,6 +454,11 @@ class OrderingFabric:
         Per-message processing time at sequencing nodes, in milliseconds;
         positive values turn each node into a single FIFO server so
         throughput saturation can be studied (0 = the paper's model).
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when given,
+        the fabric wires live hold-back occupancy gauges, a delivery
+        latency histogram, and pull collectors for link/node/atom/event
+        loop statistics (see :mod:`repro.obs.hooks`).
     """
 
     def __init__(
@@ -457,6 +476,7 @@ class OrderingFabric:
         retransmit_timeout: Optional[float] = None,
         service_time: float = 0.0,
         track_stability: bool = False,
+        registry: Optional["MetricsRegistry"] = None,
     ):
         import random as _random
 
@@ -530,6 +550,16 @@ class OrderingFabric:
         self.distribution_tree_links = 0
         self.distribution_unicast_links = 0
         self.distribution_tree_bytes = 0
+        #: reliable-link layer accounting
+        self.retransmissions = 0
+        self.acks_sent = 0
+        #: optional metrics registry (see repro.obs); instrumented lazily
+        #: so fabrics without one never import the observability layer
+        self.registry = registry
+        if registry is not None:
+            from repro.obs.hooks import instrument_fabric
+
+            instrument_fabric(self, registry)
 
     # -- channel management ------------------------------------------------
 
@@ -591,6 +621,7 @@ class OrderingFabric:
             return
         if attempts + 1 > MAX_RETRANSMITS:
             raise SimulationError(f"packet {hop!r} exceeded retransmit budget")
+        self.retransmissions += 1
         channel = self._channel(src, dst)
         channel.send(hop, hop.size_bytes())
         self._arm_retransmit(src, dst, hop, attempts + 1)
@@ -619,6 +650,7 @@ class OrderingFabric:
             raise TypeError(f"expected HopPacket on reliable link, got {payload!r}")
         reverse = self._channel(receiver, channel.src)
         reverse.send(AckPacket(payload.seq), ACK_BYTES)
+        self.acks_sent += 1
         link = self._link(sender_name, receiver.name)
         if payload.seq < link.next_expected or payload.seq in link.holdback:
             return []  # duplicate of an already-queued or processed packet
@@ -672,6 +704,14 @@ class OrderingFabric:
     def _distribute(self, src: SequencingNodeProcess, message: Message) -> None:
         stamp = message.stamp()
         members = sorted(self.membership.members(message.group))
+        if self.trace.enabled:
+            self.trace.record(
+                self.sim.now,
+                "distribute",
+                msg=message.msg_id,
+                node=src.node_id,
+                members=len(members),
+            )
         if self.track_stability:
             src.expect_stability_acks(message.msg_id, members)
         for member in members:

@@ -8,9 +8,10 @@ cheap parts (membership, sequencing graph, placement) per run.
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
 
 from repro.core.placement import Placement, co_locate_and_order, place
+from repro.obs.registry import MetricsRegistry
 from repro.core.protocol import OrderingFabric
 from repro.core.sequencing_graph import SequencingGraph
 from repro.pubsub.membership import GroupMembership
@@ -37,6 +38,9 @@ class ExperimentEnv:
     seed: int = 0
     paper_scale: bool = False
     cluster_size: int = 8
+    #: optional metrics registry shared by every fabric built from this
+    #: environment (see repro.obs); None = no instrumentation overhead
+    registry: Optional[MetricsRegistry] = None
     topology: Topology = field(init=False)
     routing: RoutingTable = field(init=False)
     hosts: List[Host] = field(init=False)
@@ -91,7 +95,13 @@ class ExperimentEnv:
     def build_fabric(
         self, membership: GroupMembership, seed: int = 0, **kwargs
     ) -> OrderingFabric:
-        """An ordering fabric over this environment's substrate."""
+        """An ordering fabric over this environment's substrate.
+
+        The environment's ``registry`` (when set) is passed along unless
+        the caller overrides it, so sweeps can aggregate metrics across
+        every fabric they build.
+        """
+        kwargs.setdefault("registry", self.registry)
         return OrderingFabric(
             membership, self.hosts, self.topology, self.routing, seed=seed, **kwargs
         )

@@ -33,9 +33,20 @@ def run_selected(
     n_hosts: int = 128,
     csv_dir: Optional[str] = None,
     ascii_plots: bool = False,
+    metrics_out: Optional[str] = None,
 ) -> str:
-    """Run the requested figures, returning the combined report text."""
+    """Run the requested figures, returning the combined report text.
+
+    ``metrics_out`` attaches a metrics registry to every fabric the figure
+    modules build and writes a Prometheus-style text dump there afterwards
+    (counters accumulate across fabrics; same-label gauges reflect the last
+    fabric collected).
+    """
     env = ExperimentEnv(n_hosts=n_hosts, paper_scale=paper_scale)
+    if metrics_out:
+        from repro.obs.registry import MetricsRegistry
+
+        env.registry = MetricsRegistry()
     sections: List[str] = []
 
     def emit(table: str, plot: Optional[str]) -> None:
@@ -107,6 +118,11 @@ def run_selected(
         )
         if csv_dir:
             export.export_figure("fig8", csv_dir, xy=series)
+    if metrics_out:
+        from repro.obs.exporters import write_prometheus
+
+        write_prometheus(env.registry, metrics_out)
+        sections.append(f"metrics written to {metrics_out}")
     return "\n\n".join(sections)
 
 
@@ -134,6 +150,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--ascii", action="store_true", help="render ASCII plots after each table"
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write a Prometheus-style metrics dump of all runs here",
+    )
     args = parser.parse_args(argv)
     print(
         run_selected(
@@ -143,6 +164,7 @@ def main(argv=None) -> int:
             n_hosts=args.hosts,
             csv_dir=args.csv_dir,
             ascii_plots=args.ascii,
+            metrics_out=args.metrics_out,
         )
     )
     return 0

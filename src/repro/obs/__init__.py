@@ -1,0 +1,41 @@
+"""Observability for the sequencing pipeline.
+
+The package has four parts:
+
+* :mod:`repro.obs.registry` — ``Counter``/``Gauge``/``Histogram`` instruments
+  behind a :class:`~repro.obs.registry.MetricsRegistry` that is near-zero-cost
+  when disabled (call sites hold no-op null instruments).
+* :mod:`repro.obs.spans` — reconstruct a per-message lifecycle span
+  (``publish -> ingress -> sequencing hops -> distribution -> deliver``) from
+  trace records, giving a per-phase latency breakdown per message and per
+  group.
+* :mod:`repro.obs.exporters` — dump traces and metrics as JSONL,
+  Prometheus-style text, and Chrome trace-event JSON (Perfetto-loadable).
+* :mod:`repro.obs.hooks` — wiring that attaches a registry to a running
+  :class:`~repro.core.protocol.OrderingFabric` and its simulator.
+
+See ``docs/OBSERVABILITY.md`` for the full model and overhead notes.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    log_buckets,
+)
+from repro.obs.spans import MessageSpan, PHASES, build_spans, phase_breakdown_by_group
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "log_buckets",
+    "MessageSpan",
+    "PHASES",
+    "build_spans",
+    "phase_breakdown_by_group",
+]

@@ -1,0 +1,176 @@
+"""Per-message lifecycle spans reconstructed from trace records.
+
+A message's life has three phases (paper Section 3.1's pipeline):
+
+* **ingress** — publish until the first sequencing-node visit,
+* **sequencing** — first node visit until the egress node starts
+  distribution (covers every atom hop, including pass-throughs),
+* **distribution** — distribution start until delivery at one member.
+
+The reconstruction consumes the trace kinds the fabric emits:
+
+==============  ==========================================================
+kind            data fields
+==============  ==========================================================
+``publish``     ``msg``, ``group``, ``sender``
+``seq_hop``     ``msg``, ``node``, ``atom`` (entry atom of the visit)
+``distribute``  ``msg``, ``node``, ``members``
+``deliver``     ``msg``, ``host``, ``group``, ``sender``, ``publish_time``
+==============  ==========================================================
+
+``seq_hop``/``distribute`` are only recorded while tracing is enabled, so
+spans require a fabric built with ``trace=True`` (the default).  Baseline
+implementations emit only ``publish``/``deliver``; their spans have no hops
+and no phase breakdown, but delivery latency still works.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.trace import Trace
+
+#: Phase names, in pipeline order.
+PHASES = ("ingress", "sequencing", "distribution")
+
+
+@dataclass(frozen=True)
+class SeqHop:
+    """One sequencing-node visit (however many co-located atoms ran)."""
+
+    node: int
+    time: float
+    atom: str = ""
+
+
+@dataclass
+class MessageSpan:
+    """The reconstructed lifecycle of one published message."""
+
+    msg_id: int
+    group: int
+    sender: int
+    publish_time: float
+    hops: List[SeqHop] = field(default_factory=list)
+    distribute_time: Optional[float] = None
+    distribute_node: Optional[int] = None
+    #: ``{host: delivery time}`` per group member
+    deliveries: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the span covers the full pipeline for at least one host."""
+        return bool(self.hops) and self.distribute_time is not None and bool(
+            self.deliveries
+        )
+
+    def delivery_latency(self, host: int) -> float:
+        """Publish-to-deliver latency at ``host``."""
+        return self.deliveries[host] - self.publish_time
+
+    def phases(self, host: int) -> Dict[str, float]:
+        """Per-phase latency breakdown for the copy delivered to ``host``.
+
+        The three phase latencies sum to :meth:`delivery_latency` exactly
+        (the phases partition the publish-to-deliver interval).
+        """
+        if not self.complete:
+            raise ValueError(
+                f"span for message {self.msg_id} is incomplete (hops="
+                f"{len(self.hops)}, distributed={self.distribute_time is not None})"
+            )
+        first_hop = self.hops[0].time
+        return {
+            "ingress": first_hop - self.publish_time,
+            "sequencing": self.distribute_time - first_hop,
+            "distribution": self.deliveries[host] - self.distribute_time,
+        }
+
+
+def build_spans(trace: Trace) -> Dict[int, MessageSpan]:
+    """Reconstruct ``{msg_id: MessageSpan}`` from a trace.
+
+    Uses the trace's per-kind index, so cost is proportional to the number
+    of relevant records, not the whole trace.
+    """
+    spans: Dict[int, MessageSpan] = {}
+    for record in trace.iter_select("publish"):
+        data = record.data
+        spans[data["msg"]] = MessageSpan(
+            msg_id=data["msg"],
+            group=data["group"],
+            sender=data["sender"],
+            publish_time=record.time,
+        )
+    for record in trace.iter_select("seq_hop"):
+        span = spans.get(record.data["msg"])
+        if span is not None:
+            span.hops.append(
+                SeqHop(record.data["node"], record.time, record.data.get("atom", ""))
+            )
+    for record in trace.iter_select("distribute"):
+        span = spans.get(record.data["msg"])
+        if span is not None:
+            span.distribute_time = record.time
+            span.distribute_node = record.data["node"]
+    for record in trace.iter_select("deliver"):
+        span = spans.get(record.data["msg"])
+        if span is not None:
+            span.deliveries[record.data["host"]] = record.time
+    return spans
+
+
+def phase_breakdown_by_group(
+    spans: Dict[int, MessageSpan]
+) -> Dict[int, Dict[str, float]]:
+    """Mean per-phase latency per group, over all delivered message copies.
+
+    Incomplete spans (undelivered messages, baseline traces without hop
+    records) are skipped.
+    """
+    sums: Dict[int, Dict[str, float]] = {}
+    counts: Dict[int, int] = {}
+    for span in spans.values():
+        if not span.complete:
+            continue
+        for host in span.deliveries:
+            phases = span.phases(host)
+            bucket = sums.setdefault(span.group, dict.fromkeys(PHASES, 0.0))
+            for phase in PHASES:
+                bucket[phase] += phases[phase]
+            counts[span.group] = counts.get(span.group, 0) + 1
+    return {
+        group: {phase: total[phase] / counts[group] for phase in PHASES}
+        for group, total in sums.items()
+    }
+
+
+def hop_intervals(span: MessageSpan) -> List[Tuple[int, float, float]]:
+    """``(node, start, end)`` per sequencing-node visit of one message.
+
+    A visit ends when the message reaches the next node (or distribution
+    starts); the intervals tile the sequencing phase, which is what the
+    Chrome-trace exporter renders as one slice per hop.
+    """
+    if not span.hops:
+        return []
+    ends = [hop.time for hop in span.hops[1:]]
+    ends.append(
+        span.distribute_time if span.distribute_time is not None else span.hops[-1].time
+    )
+    return [
+        (hop.node, hop.time, end) for hop, end in zip(span.hops, ends)
+    ]
+
+
+def render_phase_table(breakdown: Dict[int, Dict[str, float]]) -> str:
+    """Aligned text table of the per-group phase breakdown."""
+    headers = ["group"] + [f"{phase}_ms" for phase in PHASES] + ["total_ms"]
+    widths = [max(10, len(h)) for h in headers]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for group in sorted(breakdown):
+        phases = breakdown[group]
+        cells = [str(group)] + [f"{phases[p]:.3f}" for p in PHASES]
+        cells.append(f"{sum(phases.values()):.3f}")
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)

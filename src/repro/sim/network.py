@@ -62,6 +62,10 @@ class Channel:
         self.sends = 0
         self.drops = 0
         self.bytes_sent = 0
+        self.receives = 0
+        #: packets currently propagating (scheduled but not yet delivered)
+        self.in_flight = 0
+        self.in_flight_high_water = 0
 
     def fail(self, duration: float) -> None:
         """Take the link down for ``duration`` time units.
@@ -99,9 +103,14 @@ class Channel:
         arrival = max(self.sim.now + self.delay, self._last_delivery_time)
         self._last_delivery_time = arrival
         self.sim.schedule_at(arrival, self._deliver, payload)
+        self.in_flight += 1
+        if self.in_flight > self.in_flight_high_water:
+            self.in_flight_high_water = self.in_flight
         return True
 
     def _deliver(self, payload: Any) -> None:
+        self.in_flight -= 1
+        self.receives += 1
         self.dst.messages_received += 1
         self.dst.receive(payload, self)
 
@@ -188,3 +197,11 @@ class Network:
     def total_sends(self) -> int:
         """Aggregate packet transmissions across all channels."""
         return sum(c.sends for c in self._channels.values())
+
+    def total_drops(self) -> int:
+        """Aggregate packets lost to loss injection or outages."""
+        return sum(c.drops for c in self._channels.values())
+
+    def total_in_flight(self) -> int:
+        """Packets currently propagating across all channels."""
+        return sum(c.in_flight for c in self._channels.values())

@@ -1,0 +1,160 @@
+"""Exporter formats: JSONL round-trip, Chrome trace events, Prometheus text."""
+
+import json
+import re
+
+import pytest
+
+from repro.experiments.common import ExperimentEnv
+from repro.obs import exporters
+from repro.obs.registry import MetricsRegistry
+from repro.sim.trace import Trace, TraceRecord
+
+SNAPSHOT = {
+    0: frozenset({0, 1, 2, 3}),
+    1: frozenset({0, 1}),
+    2: frozenset({2, 3, 4}),
+}
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    env = ExperimentEnv(n_hosts=5, seed=0)
+    registry = MetricsRegistry()
+    fabric = env.build_fabric(
+        env.membership_from(SNAPSHOT), trace=True, registry=registry
+    )
+    for sender, group in ((0, 0), (2, 2), (1, 1), (3, 0)):
+        fabric.publish(sender, group)
+    fabric.run()
+    assert not fabric.pending_messages()
+    return fabric, registry
+
+
+class TestJsonl:
+    def test_round_trips_to_equal_records(self, traced_run):
+        fabric, _ = traced_run
+        text = exporters.trace_to_jsonl(fabric.trace)
+        restored = exporters.trace_from_jsonl(text)
+        assert restored == list(fabric.trace)
+
+    def test_file_round_trip(self, traced_run, tmp_path):
+        fabric, _ = traced_run
+        path = exporters.write_trace_jsonl(fabric.trace, tmp_path / "run.jsonl")
+        assert exporters.read_trace_jsonl(path) == list(fabric.trace)
+
+    def test_each_line_is_standalone_json(self, traced_run):
+        fabric, _ = traced_run
+        lines = exporters.trace_to_jsonl(fabric.trace).splitlines()
+        assert len(lines) == len(fabric.trace)
+        for line in lines:
+            obj = json.loads(line)
+            assert set(obj) == {"time", "kind", "data"}
+
+    def test_empty_trace(self, tmp_path):
+        trace = Trace()
+        assert exporters.trace_to_jsonl(trace) == ""
+        path = exporters.write_trace_jsonl(trace, tmp_path / "empty.jsonl")
+        assert exporters.read_trace_jsonl(path) == []
+
+
+class TestChromeTrace:
+    def test_document_round_trips_through_json(self, traced_run):
+        fabric, _ = traced_run
+        doc = exporters.trace_to_chrome(fabric.trace)
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_events_carry_required_fields(self, traced_run):
+        fabric, _ = traced_run
+        events = exporters.trace_to_chrome(fabric.trace)["traceEvents"]
+        assert events
+        for event in events:
+            assert "ph" in event and "pid" in event
+            if event["ph"] != "M":
+                assert "ts" in event and event["ts"] >= 0
+
+    def test_one_track_per_sequencing_node_one_slice_per_hop(self, traced_run):
+        fabric, _ = traced_run
+        events = exporters.trace_to_chrome(fabric.trace)["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == fabric.trace.count("seq_hop")
+        visited_nodes = {e["tid"] for e in slices}
+        tracks = {
+            e["tid"]
+            for e in events
+            if e["ph"] == "M"
+            and e["name"] == "thread_name"
+            and e["pid"] == exporters.SEQUENCING_PID
+        }
+        assert tracks == visited_nodes
+
+    def test_instant_events_cover_publish_and_deliver(self, traced_run):
+        fabric, _ = traced_run
+        events = exporters.trace_to_chrome(fabric.trace)["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        publishes = [e for e in instants if e["name"].startswith("publish")]
+        delivers = [e for e in instants if e["name"].startswith("deliver")]
+        assert len(publishes) == fabric.trace.count("publish")
+        assert len(delivers) == fabric.trace.count("deliver")
+
+    def test_written_file_parses(self, traced_run, tmp_path):
+        fabric, _ = traced_run
+        path = exporters.write_chrome_trace(fabric.trace, tmp_path / "run.trace.json")
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+
+
+#: `name value` or `name{labels} value` where value is a float, inf, or nan.
+PROM_SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? '
+    r"[-+]?((\d+(\.\d+)?([eE][-+]?\d+)?)|Inf|NaN)$"
+)
+
+
+class TestPrometheus:
+    def test_every_line_parses(self, traced_run):
+        _, registry = traced_run
+        text = exporters.registry_to_prometheus(registry)
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert PROM_SAMPLE.match(line), f"unparseable sample line: {line!r}"
+
+    def test_contains_per_link_bytes_and_holdback_gauges(self, traced_run):
+        _, registry = traced_run
+        text = exporters.registry_to_prometheus(registry)
+        assert re.search(r'^repro_link_bytes_sent\{[^}]*\} \d+$', text, re.M)
+        assert re.search(r'^repro_holdback_high_water\{host="\d+"\} \d+$', text, re.M)
+
+    def test_histogram_exposition(self, traced_run):
+        _, registry = traced_run
+        text = exporters.registry_to_prometheus(registry)
+        assert "# TYPE repro_delivery_latency_ms histogram" in text
+        assert 'repro_delivery_latency_ms_bucket{le="+Inf"}' in text
+        assert "repro_delivery_latency_ms_sum" in text
+        assert "repro_delivery_latency_ms_count" in text
+
+    def test_type_lines_match_instrument_kinds(self, traced_run):
+        _, registry = traced_run
+        text = exporters.registry_to_prometheus(registry)
+        assert "# TYPE repro_link_bytes_sent counter" in text
+        assert "# TYPE repro_holdback_occupancy gauge" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("weird", label='a"b\\c\nd').inc()
+        text = exporters.registry_to_prometheus(registry)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+    def test_empty_registry_exports_empty(self):
+        assert exporters.registry_to_prometheus(MetricsRegistry()) == ""
+
+
+class TestTraceRecordEquality:
+    def test_record_equality_includes_data(self):
+        a = TraceRecord(1.0, "publish", {"msg": 1})
+        b = TraceRecord(1.0, "publish", {"msg": 1})
+        c = TraceRecord(1.0, "publish", {"msg": 2})
+        assert a == b and a != c

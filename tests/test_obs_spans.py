@@ -1,0 +1,124 @@
+"""Lifecycle-span reconstruction from fabric traces."""
+
+import pytest
+
+from repro.experiments.common import ExperimentEnv
+from repro.obs.spans import (
+    PHASES,
+    build_spans,
+    hop_intervals,
+    phase_breakdown_by_group,
+    render_phase_table,
+)
+
+#: A membership crafted so group 0's sequencing path has exactly 3 atoms:
+#: group 0 double-overlaps each of groups 1/2/3 (two shared members apiece)
+#: and the satellite groups share nothing with each other, so the cluster
+#: chain is Q(0,1)-Q(0,2)-Q(0,3) in some order — all sequencing group 0.
+THREE_ATOM_SNAPSHOT = {
+    0: frozenset({0, 1, 2, 3, 4, 5}),
+    1: frozenset({0, 1}),
+    2: frozenset({2, 3}),
+    3: frozenset({4, 5}),
+}
+
+
+@pytest.fixture(scope="module")
+def three_atom_fabric():
+    env = ExperimentEnv(n_hosts=6, seed=0)
+    fabric = env.build_fabric(env.membership_from(THREE_ATOM_SNAPSHOT), trace=True)
+    assert len(fabric.graph.group_path(0)) == 3
+    fabric.publish(0, 0, payload="hello")
+    fabric.run()
+    assert not fabric.pending_messages()
+    return fabric
+
+
+class TestThreeAtomPath:
+    def test_span_covers_full_pipeline(self, three_atom_fabric):
+        spans = build_spans(three_atom_fabric.trace)
+        assert set(spans) == {0}
+        span = spans[0]
+        assert span.complete
+        assert span.group == 0 and span.sender == 0
+        # One hop per sequencing-node visit; 3 atoms on <= 3 machines.
+        assert 1 <= len(span.hops) <= 3
+        assert set(span.deliveries) == set(THREE_ATOM_SNAPSHOT[0])
+
+    def test_phases_are_exactly_the_three_pipeline_phases(self, three_atom_fabric):
+        span = build_spans(three_atom_fabric.trace)[0]
+        for host in span.deliveries:
+            assert tuple(span.phases(host)) == PHASES
+
+    def test_phase_latencies_sum_to_delivery_latency(self, three_atom_fabric):
+        span = build_spans(three_atom_fabric.trace)[0]
+        for host in span.deliveries:
+            phases = span.phases(host)
+            assert all(latency >= 0 for latency in phases.values())
+            assert sum(phases.values()) == pytest.approx(
+                span.delivery_latency(host), abs=1e-9
+            )
+
+    def test_hop_intervals_tile_the_sequencing_phase(self, three_atom_fabric):
+        span = build_spans(three_atom_fabric.trace)[0]
+        intervals = hop_intervals(span)
+        assert len(intervals) == len(span.hops)
+        assert intervals[0][1] == span.hops[0].time
+        assert intervals[-1][2] == span.distribute_time
+        for (_, _, end), (_, start, _) in zip(intervals, intervals[1:]):
+            assert end == start
+        total = sum(end - start for _, start, end in intervals)
+        assert total == pytest.approx(
+            span.distribute_time - span.hops[0].time, abs=1e-9
+        )
+
+
+class TestAggregation:
+    def test_group_breakdown_means_match_single_span(self, three_atom_fabric):
+        span = build_spans(three_atom_fabric.trace)[0]
+        breakdown = phase_breakdown_by_group(build_spans(three_atom_fabric.trace))
+        assert set(breakdown) == {0}
+        expected = {phase: 0.0 for phase in PHASES}
+        for host in span.deliveries:
+            for phase, latency in span.phases(host).items():
+                expected[phase] += latency / len(span.deliveries)
+        for phase in PHASES:
+            assert breakdown[0][phase] == pytest.approx(expected[phase])
+
+    def test_render_phase_table_lists_each_group(self, three_atom_fabric):
+        breakdown = phase_breakdown_by_group(build_spans(three_atom_fabric.trace))
+        table = render_phase_table(breakdown)
+        assert "ingress_ms" in table and "total_ms" in table
+        assert any(line.startswith("0") for line in table.splitlines())
+
+
+class TestIncompleteSpans:
+    def test_disabled_trace_yields_no_spans(self):
+        env = ExperimentEnv(n_hosts=6, seed=0)
+        fabric = env.build_fabric(env.membership_from(THREE_ATOM_SNAPSHOT), trace=False)
+        fabric.publish(0, 0)
+        fabric.run()
+        assert build_spans(fabric.trace) == {}
+
+    def test_incomplete_span_raises_on_phases(self):
+        from repro.obs.spans import MessageSpan
+
+        span = MessageSpan(msg_id=9, group=0, sender=1, publish_time=0.0)
+        assert not span.complete
+        with pytest.raises(ValueError):
+            span.phases(0)
+
+    def test_multi_message_spans_reconstruct_independently(self):
+        env = ExperimentEnv(n_hosts=6, seed=0)
+        fabric = env.build_fabric(env.membership_from(THREE_ATOM_SNAPSHOT), trace=True)
+        for sender, group in ((0, 0), (0, 1), (2, 2), (0, 0)):
+            fabric.publish(sender, group)
+        fabric.run()
+        spans = build_spans(fabric.trace)
+        assert set(spans) == {0, 1, 2, 3}
+        for span in spans.values():
+            assert span.complete
+            for host in span.deliveries:
+                assert sum(span.phases(host).values()) == pytest.approx(
+                    span.delivery_latency(host), abs=1e-9
+                )
