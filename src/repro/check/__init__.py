@@ -1,0 +1,50 @@
+"""Static analysis for the reproduction: determinism linting and
+sequencing-graph invariant verification.
+
+Two analyzers share one finding model and one entry point:
+
+* :mod:`repro.check.simlint` — AST rules (``SL1xx``) enforcing
+  simulation purity: no wall-clock reads, no global-RNG draws, no float
+  timestamp equality, no mutable defaults, no bare ``except``, no
+  unordered iteration into order-sensitive sinks.
+* :mod:`repro.check.graph_verify` — independent re-proof (``GV2xx``) of
+  the paper's C1 (single path per group) and C2 (loop-free) invariants,
+  plus ingress uniqueness, membership consistency, and placement
+  co-location consistency, from a live graph or an exported JSON
+  certificate.
+
+Run both with ``repro check`` (see :mod:`repro.check.runner`); the rule
+catalog lives in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.check.findings import (
+    CheckReport,
+    Finding,
+    render_json,
+    render_text,
+    sort_findings,
+)
+from repro.check.graph_verify import (
+    CERTIFICATE_FORMAT,
+    load_certificate,
+    verify_certificate,
+    verify_graph,
+)
+from repro.check.runner import run_check
+from repro.check.simlint import RULES, lint_path, lint_source
+
+__all__ = [
+    "CERTIFICATE_FORMAT",
+    "CheckReport",
+    "Finding",
+    "RULES",
+    "lint_path",
+    "lint_source",
+    "load_certificate",
+    "render_json",
+    "render_text",
+    "run_check",
+    "sort_findings",
+    "verify_certificate",
+    "verify_graph",
+]

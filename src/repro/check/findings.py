@@ -1,0 +1,154 @@
+"""Shared finding model for the static-analysis layer.
+
+Both analyzers — the AST determinism linter (:mod:`repro.check.simlint`)
+and the sequencing-graph invariant verifier
+(:mod:`repro.check.graph_verify`) — report through one
+:class:`Finding` type so the CLI, CI job, and tests consume a single
+machine-readable shape.  A finding is anchored either to a source
+location (``file``/``line``, simlint) or to a protocol object
+(``anchor``, e.g. an atom id or group id, graph verifier); both anchors
+may be absent for tool-level errors (unreadable file, malformed
+certificate).
+"""
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Finding severities, most severe first.
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+#: Schema version of the JSON report emitted by :func:`render_json`.
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation reported by an analyzer.
+
+    Attributes
+    ----------
+    code:
+        Stable rule/check identifier (``SL1xx`` for simlint rules,
+        ``GV2xx`` for graph-verifier checks).
+    message:
+        Human-readable description of the specific violation.
+    severity:
+        ``"error"`` or ``"warning"``; errors fail ``repro check``.
+    file, line:
+        Source anchor (simlint findings).
+    anchor:
+        Protocol-object anchor (graph-verifier findings), e.g.
+        ``"Q(0,1)"`` or ``"group 3"``.
+    tool:
+        Which analyzer produced the finding.
+    """
+
+    code: str
+    message: str
+    severity: str = SEVERITY_ERROR
+    file: Optional[str] = None
+    line: Optional[int] = None
+    anchor: Optional[str] = None
+    tool: str = "check"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def location(self) -> str:
+        """The anchor rendered for humans (``path:line`` or object id)."""
+        if self.file is not None:
+            return f"{self.file}:{self.line}" if self.line else self.file
+        if self.anchor is not None:
+            return self.anchor
+        return "<global>"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (null anchors omitted)."""
+        data: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "tool": self.tool,
+        }
+        if self.file is not None:
+            data["file"] = self.file
+            if self.line is not None:
+                data["line"] = self.line
+        if self.anchor is not None:
+            data["anchor"] = self.anchor
+        return data
+
+
+@dataclass
+class CheckReport:
+    """The aggregate result of one ``repro check`` run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: analyzer names that actually ran (for the summary line)
+    tools: List[str] = field(default_factory=list)
+    #: files/objects inspected, per tool (diagnostic context)
+    inspected: Dict[str, int] = field(default_factory=dict)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        """Nonzero when any finding exists (the CI gate contract)."""
+        return 1 if self.findings else 0
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic report order: severity, then file/anchor, then line."""
+    return sorted(
+        findings,
+        key=lambda f: (
+            SEVERITIES.index(f.severity),
+            f.file or "",
+            f.line or 0,
+            f.anchor or "",
+            f.code,
+            f.message,
+        ),
+    )
+
+
+def render_text(report: CheckReport) -> str:
+    """Human-readable rendering, one finding per line plus a summary."""
+    lines = []
+    for finding in sort_findings(report.findings):
+        lines.append(
+            f"{finding.location()}: {finding.severity}: "
+            f"{finding.code} {finding.message} [{finding.tool}]"
+        )
+    n_err = len(report.errors)
+    n_warn = len(report.findings) - n_err
+    ran = ", ".join(report.tools) or "nothing"
+    lines.append(
+        f"repro check: {n_err} error(s), {n_warn} warning(s) ({ran})"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport) -> str:
+    """Machine-readable rendering (stable key order, sorted findings)."""
+    payload = {
+        "tool": "repro.check",
+        "version": REPORT_VERSION,
+        "tools": list(report.tools),
+        "inspected": dict(sorted(report.inspected.items())),
+        "summary": {
+            "errors": len(report.errors),
+            "warnings": len(report.findings) - len(report.errors),
+        },
+        "findings": [f.to_dict() for f in sort_findings(report.findings)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,419 @@
+"""Independent verifier for the sequencing-graph invariants.
+
+:meth:`SequencingGraph.validate` is the runtime guard; this module is the
+*auditor*: it consumes an exported JSON **certificate** (or a live graph,
+by exporting one) and re-proves the protocol's structural invariants from
+first principles, sharing no code path with the construction:
+
+* **GV201 (C1)** — each group's active atoms lie on a single simple path
+  of the undirected sequencing graph.  Proven by building the adjacency
+  from the certificate's chain edges, checking the atoms fall in one
+  connected component, and pruning that component's tree down to the
+  minimal subtree spanning them: C1 holds iff that subtree has maximum
+  degree ≤ 2 (i.e. is a path).
+* **GV202 (C2)** — the undirected sequencing graph is loop-free.  Chains
+  are vertex lists, so the graph has a cycle or a branching junction
+  exactly when some atom occupies more than one chain position; the
+  verifier counts occurrences rather than trusting chain disjointness.
+* **GV203** — ingress uniqueness: every group has exactly one ingress
+  point — either active overlap atoms (its path head acts as ingress) or
+  one ingress-only atom, never both, never neither, and ingress-only
+  atoms never appear on chains.
+* **GV204** — atom/membership consistency: active overlap atoms name
+  known groups and their groups still share at least ``threshold``
+  members.
+* **GV205** — placement co-location consistency (when the certificate
+  carries a placement): every chain atom is placed exactly once, every
+  node has a machine, and the ingress-only node flag matches its atoms.
+
+Findings use the shared :class:`~repro.check.findings.Finding` type,
+anchored by atom/group identifiers rather than file/line.
+
+Certificate format (``docs/STATIC_ANALYSIS.md`` documents it for
+external tooling)::
+
+    {
+      "format": "repro-sequencing-graph-certificate",
+      "version": 1,
+      "threshold": 2,
+      "groups": {"0": [member ids], ...},
+      "atoms": [{"kind": "overlap"|"ingress", "groups": [..],
+                 "overlap_members": [..], "retired": false}, ...],
+      "chains": [[["overlap", [0, 1]], ...], ...],
+      "ingress_only": {"3": ["ingress", [3]], ...},
+      "placement": {"nodes": [{"node_id": 0, "machine": 5,
+                               "ingress_only": false,
+                               "atom_ids": [["overlap", [0, 1]], ...]}]}
+    }
+
+``placement`` is optional.  Atom references are ``[kind, [groups...]]``
+pairs; they intentionally mirror :class:`~repro.core.messages.AtomId`
+without importing it, so a certificate can be checked by third-party
+tooling with nothing but a JSON parser.
+"""
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+from repro.check.findings import Finding
+
+TOOL = "graph-verify"
+
+CERTIFICATE_FORMAT = "repro-sequencing-graph-certificate"
+CERTIFICATE_VERSION = 1
+
+#: internal atom key: ("overlap"|"ingress", (groups...))
+AtomKey = Tuple[str, Tuple[int, ...]]
+
+
+def _finding(code: str, anchor: str, message: str) -> Finding:
+    return Finding(code=code, message=message, anchor=anchor, tool=TOOL)
+
+
+def _atom_key(ref: Any) -> AtomKey:
+    """Parse one ``[kind, [groups]]`` certificate atom reference."""
+    if (
+        not isinstance(ref, (list, tuple))
+        or len(ref) != 2
+        or not isinstance(ref[0], str)
+        or not isinstance(ref[1], (list, tuple))
+        or not all(isinstance(g, int) for g in ref[1])
+    ):
+        raise ValueError(f"malformed atom reference {ref!r}")
+    return (ref[0], tuple(ref[1]))
+
+
+def _render_atom(key: AtomKey) -> str:
+    kind, groups = key
+    if kind == "ingress":
+        return f"I({groups[0]})" if groups else "I(?)"
+    return f"Q({','.join(str(g) for g in groups)})"
+
+
+def load_certificate(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a certificate file; raises ``ValueError`` on the wrong format."""
+    with open(path, "r", encoding="utf-8") as handle:
+        cert = json.load(handle)
+    if not isinstance(cert, dict) or cert.get("format") != CERTIFICATE_FORMAT:
+        raise ValueError(
+            f"{path} is not a {CERTIFICATE_FORMAT} document"
+        )
+    return cert
+
+
+# ---------------------------------------------------------------------------
+# Verification
+# ---------------------------------------------------------------------------
+
+
+class _CertView:
+    """Parsed, index-friendly view of a certificate's contents."""
+
+    def __init__(self, cert: Dict[str, Any]):
+        self.threshold = int(cert.get("threshold", 2))
+        self.groups: Dict[int, Set[int]] = {
+            int(g): set(members) for g, members in cert.get("groups", {}).items()
+        }
+        self.atoms: Dict[AtomKey, Dict[str, Any]] = {}
+        for spec in cert.get("atoms", []):
+            key = _atom_key([spec["kind"], spec["groups"]])
+            if key in self.atoms:
+                raise ValueError(f"atom {_render_atom(key)} declared twice")
+            self.atoms[key] = spec
+        self.chains: List[List[AtomKey]] = [
+            [_atom_key(ref) for ref in chain] for chain in cert.get("chains", [])
+        ]
+        self.ingress_only: Dict[int, AtomKey] = {
+            int(g): _atom_key(ref)
+            for g, ref in cert.get("ingress_only", {}).items()
+        }
+        self.placement: Optional[List[Dict[str, Any]]] = None
+        if cert.get("placement") is not None:
+            self.placement = list(cert["placement"].get("nodes", []))
+
+    def retired(self, key: AtomKey) -> bool:
+        spec = self.atoms.get(key)
+        return bool(spec and spec.get("retired", False))
+
+    def active_atoms_of_group(self, group: int) -> List[AtomKey]:
+        return [
+            key
+            for key in self.atoms
+            if key[0] == "overlap" and group in key[1] and not self.retired(key)
+        ]
+
+
+def verify_certificate(cert: Dict[str, Any]) -> List[Finding]:
+    """Re-prove C1/C2, ingress uniqueness, membership and placement
+    consistency for one certificate.  Returns all findings (empty = pass)."""
+    try:
+        view = _CertView(cert)
+    except (KeyError, TypeError, ValueError) as exc:
+        return [_finding("GV200", "<certificate>", f"malformed certificate: {exc}")]
+
+    findings: List[Finding] = []
+    findings.extend(_check_c2_loop_free(view))
+    # C1 needs a well-formed path forest; a C2 violation already explains
+    # any path anomaly, so skip C1 for the affected groups only.
+    c2_bad_atoms = {f.anchor for f in findings}
+    findings.extend(_check_c1_single_path(view, c2_bad_atoms))
+    findings.extend(_check_ingress_uniqueness(view))
+    findings.extend(_check_membership_consistency(view))
+    if view.placement is not None:
+        findings.extend(_check_placement_consistency(view))
+    return findings
+
+
+def _check_c2_loop_free(view: _CertView) -> List[Finding]:
+    """GV202: no atom occupies two chain positions.
+
+    Chains serialize the undirected sequencing graph as vertex paths, so
+    every loop or branching junction manifests as a repeated vertex; a
+    repetition count is therefore a complete loop-freedom proof for this
+    representation.
+    """
+    findings: List[Finding] = []
+    occurrences: Dict[AtomKey, int] = {}
+    for chain in view.chains:
+        for key in chain:
+            occurrences[key] = occurrences.get(key, 0) + 1
+    for key in sorted(occurrences):
+        count = occurrences[key]
+        if count > 1:
+            findings.append(
+                _finding(
+                    "GV202", _render_atom(key),
+                    f"C2 violated: atom occupies {count} chain positions — "
+                    "the undirected sequencing graph contains a loop or "
+                    "branching junction",
+                )
+            )
+        if key not in view.atoms:
+            findings.append(
+                _finding(
+                    "GV200", _render_atom(key),
+                    "chain references an undeclared atom",
+                )
+            )
+    return findings
+
+
+def _check_c1_single_path(
+    view: _CertView, skip_anchors: Set[Optional[str]]
+) -> List[Finding]:
+    """GV201: each group's active atoms span a single simple path."""
+    # Undirected adjacency from consecutive chain pairs (first occurrence
+    # wins for duplicated atoms — those already carry a GV202 finding).
+    adjacency: Dict[AtomKey, Set[AtomKey]] = {}
+    component: Dict[AtomKey, int] = {}
+    for index, chain in enumerate(view.chains):
+        for key in chain:
+            adjacency.setdefault(key, set())
+            component.setdefault(key, index)
+        for a, b in zip(chain, chain[1:]):
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+
+    findings: List[Finding] = []
+    for group in sorted(view.groups):
+        atoms = view.active_atoms_of_group(group)
+        if len(atoms) <= 1:
+            continue
+        if any(_render_atom(key) in skip_anchors for key in atoms):
+            continue
+        missing = [key for key in atoms if key not in component]
+        if missing:
+            findings.append(
+                _finding(
+                    "GV201", f"group {group}",
+                    f"C1 violated: atom {_render_atom(missing[0])} of the "
+                    "group is on no chain",
+                )
+            )
+            continue
+        components = {component[key] for key in atoms}
+        if len(components) > 1:
+            findings.append(
+                _finding(
+                    "GV201", f"group {group}",
+                    f"C1 violated: the group's {len(atoms)} atoms fall on "
+                    f"{len(components)} disconnected chains — no single "
+                    "path connects its sequencers",
+                )
+            )
+            continue
+        # Same component: prune the component's tree to the minimal
+        # subtree spanning the group's atoms and demand max degree <= 2.
+        comp_index = components.pop()
+        nodes = {key for key, c in component.items() if c == comp_index}
+        keep = set(atoms)
+        degree = {key: len(adjacency[key] & nodes) for key in nodes}
+        leaves = [k for k in nodes if degree[k] <= 1 and k not in keep]
+        live = set(nodes)
+        while leaves:
+            leaf = leaves.pop()
+            if leaf not in live:
+                continue
+            live.discard(leaf)
+            for neighbor in adjacency[leaf]:
+                if neighbor in live:
+                    degree[neighbor] -= 1
+                    if degree[neighbor] <= 1 and neighbor not in keep:
+                        leaves.append(neighbor)
+        max_degree = max(
+            (len(adjacency[key] & live) for key in live), default=0
+        )
+        if max_degree > 2:
+            findings.append(
+                _finding(
+                    "GV201", f"group {group}",
+                    "C1 violated: the minimal subtree spanning the group's "
+                    f"atoms branches (degree {max_degree}) — the sequencers "
+                    "do not lie on a single path",
+                )
+            )
+    return findings
+
+
+def _check_ingress_uniqueness(view: _CertView) -> List[Finding]:
+    """GV203: exactly one ingress point per group."""
+    findings: List[Finding] = []
+    chain_atoms = {key for chain in view.chains for key in chain}
+    for group in sorted(view.groups):
+        active = view.active_atoms_of_group(group)
+        ingress = view.ingress_only.get(group)
+        if active and ingress is not None:
+            findings.append(
+                _finding(
+                    "GV203", f"group {group}",
+                    "duplicated ingress: the group has "
+                    f"{len(active)} active overlap atoms and also "
+                    f"ingress-only atom {_render_atom(ingress)} — two "
+                    "independent group-local sequence spaces",
+                )
+            )
+        elif not active and ingress is None:
+            findings.append(
+                _finding(
+                    "GV203", f"group {group}",
+                    "no ingress: the group has neither active overlap "
+                    "atoms nor an ingress-only atom, so its messages can "
+                    "never be group-sequenced",
+                )
+            )
+        if ingress is not None and ingress in chain_atoms:
+            findings.append(
+                _finding(
+                    "GV203", _render_atom(ingress),
+                    "ingress-only atom appears on a sequencing chain",
+                )
+            )
+        if ingress is not None and (
+            ingress[0] != "ingress" or ingress[1] != (group,)
+        ):
+            findings.append(
+                _finding(
+                    "GV203", f"group {group}",
+                    f"ingress-only entry names atom {_render_atom(ingress)} "
+                    "which does not ingress this group",
+                )
+            )
+    return findings
+
+
+def _check_membership_consistency(view: _CertView) -> List[Finding]:
+    """GV204: active overlap atoms are justified by current memberships."""
+    findings: List[Finding] = []
+    for key in sorted(view.atoms):
+        kind, groups = key
+        if kind != "overlap" or view.retired(key):
+            continue
+        unknown = [g for g in groups if g not in view.groups]
+        if unknown:
+            findings.append(
+                _finding(
+                    "GV204", _render_atom(key),
+                    f"active atom references unknown group {unknown[0]}",
+                )
+            )
+            continue
+        if len(groups) != 2:
+            findings.append(
+                _finding(
+                    "GV204", _render_atom(key),
+                    f"overlap atom names {len(groups)} groups (expected 2)",
+                )
+            )
+            continue
+        g, h = groups
+        shared = view.groups[g] & view.groups[h]
+        if len(shared) < view.threshold:
+            findings.append(
+                _finding(
+                    "GV204", _render_atom(key),
+                    f"active atom's groups share only {len(shared)} "
+                    f"member(s); threshold is {view.threshold}",
+                )
+            )
+    return findings
+
+
+def _check_placement_consistency(view: _CertView) -> List[Finding]:
+    """GV205: the placement co-locates every atom exactly once."""
+    findings: List[Finding] = []
+    placed: Dict[AtomKey, int] = {}
+    assert view.placement is not None
+    for node in view.placement:
+        node_id = node.get("node_id")
+        atoms = [_atom_key(ref) for ref in node.get("atom_ids", [])]
+        for key in atoms:
+            if key in placed:
+                findings.append(
+                    _finding(
+                        "GV205", _render_atom(key),
+                        f"atom co-located twice (nodes {placed[key]} "
+                        f"and {node_id})",
+                    )
+                )
+            else:
+                placed[key] = node_id
+        if node.get("machine") is None:
+            findings.append(
+                _finding(
+                    "GV205", f"node {node_id}",
+                    "sequencing node has no machine assigned",
+                )
+            )
+        all_ingress = bool(atoms) and all(k[0] == "ingress" for k in atoms)
+        if bool(node.get("ingress_only", False)) != all_ingress:
+            findings.append(
+                _finding(
+                    "GV205", f"node {node_id}",
+                    "ingress_only flag disagrees with the node's atoms",
+                )
+            )
+    for chain in view.chains:
+        for key in chain:
+            if key not in placed:
+                findings.append(
+                    _finding(
+                        "GV205", _render_atom(key),
+                        "chain atom is missing from the placement",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Live-graph entry point
+# ---------------------------------------------------------------------------
+
+
+def verify_graph(graph: Any, placement: Any = None) -> List[Finding]:
+    """Verify a live :class:`~repro.core.sequencing_graph.SequencingGraph`.
+
+    Goes through the certificate export, so the live path exercises
+    exactly the representation external tooling sees.
+    """
+    return verify_certificate(graph.export_certificate(placement=placement))

@@ -13,12 +13,16 @@ Subcommands::
                     --chrome run.trace.json --metrics metrics.prom
                                      # instrumented run: lifecycle spans,
                                      # Perfetto trace, Prometheus metrics
+    repro check --format json        # static analysis: simlint determinism
+                                     # rules + C1/C2 graph verification
+    repro check --certificate g.json # audit an exported graph certificate
 
 Also runnable as ``python -m repro.cli``.
 """
 
 import argparse
 import itertools
+import json
 import random
 import sys
 from typing import List, Optional
@@ -81,7 +85,24 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         with open(args.graph_dot, "w") as handle:
             handle.write(sequencing_graph_to_dot(graph))
         print(f"graph DOT written to {args.graph_dot}")
+    if args.export_certificate:
+        with open(args.export_certificate, "w") as handle:
+            json.dump(graph.export_certificate(placement=placement), handle, indent=2)
+        print(f"graph certificate written to {args.export_certificate}")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.runner import run_check
+
+    return run_check(
+        paths=args.paths or None,
+        certificates=args.certificate,
+        lint=not args.no_lint,
+        graphs=not args.no_graph,
+        select=args.select or None,
+        fmt=args.format,
+    )
 
 
 def _cmd_workload(args: argparse.Namespace) -> int:
@@ -189,7 +210,45 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("--seed", type=int, default=0)
     an.add_argument("--dot", default=None, help="write placement DOT here")
     an.add_argument("--graph-dot", default=None, help="write graph DOT here")
+    an.add_argument(
+        "--export-certificate",
+        default=None,
+        help="write a JSON graph certificate (verifiable by `repro check`)",
+    )
     an.set_defaults(func=_cmd_analyze)
+
+    check = sub.add_parser(
+        "check",
+        help="static analysis: simlint + sequencing-graph invariant verifier",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    check.add_argument(
+        "--certificate",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="also verify this exported graph certificate (repeatable)",
+    )
+    check.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="run only these simlint rule codes (repeatable)",
+    )
+    check.add_argument("--no-lint", action="store_true", help="skip simlint")
+    check.add_argument(
+        "--no-graph", action="store_true", help="skip graph self-verification"
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    check.set_defaults(func=_cmd_check)
 
     workload = sub.add_parser("workload", help="record/replay workload traces")
     workload.add_argument("action", choices=("record", "replay"))

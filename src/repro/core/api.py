@@ -24,7 +24,7 @@ in-flight reconfiguration to future work).
 """
 
 import random
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Union
 
 from repro.core.protocol import DeliveryRecord, OrderingFabric
 from repro.pubsub.broker import SubscriptionBroker
@@ -93,7 +93,7 @@ class OrderedPubSub:
         }
         #: optional application callback ``(host_id, DeliveryRecord)``,
         #: invoked on every delivery and persisted across fabric epochs
-        self.on_deliver = None
+        self.on_deliver: Optional[Callable[[int, DeliveryRecord], None]] = None
 
     def _dispatch_deliver(self, host_id: int, record: DeliveryRecord) -> None:
         if self.on_deliver is not None:
@@ -101,7 +101,9 @@ class OrderedPubSub:
 
     # -- membership ---------------------------------------------------------
 
-    def _on_membership_change(self, op: str, group_id: int, members) -> None:
+    def _on_membership_change(
+        self, op: str, group_id: int, members: FrozenSet[int]
+    ) -> None:
         self._dirty = True
 
     def subscribe(self, host_id: int, topic: str) -> int:
@@ -114,7 +116,9 @@ class OrderedPubSub:
         self._check_host(host_id)
         self.broker.unsubscribe(host_id, topic)
 
-    def create_group(self, members, group_id: Optional[int] = None) -> int:
+    def create_group(
+        self, members: Iterable[int], group_id: Optional[int] = None
+    ) -> int:
         """Create a raw group directly (experiments bypass topics)."""
         for member in members:
             self._check_host(member)
@@ -136,6 +140,7 @@ class OrderedPubSub:
         """The current ordering fabric, (re)building it if stale."""
         if self._dirty:
             self._rebuild()
+        assert self._fabric is not None, "_rebuild always sets the fabric"
         return self._fabric
 
     def _rebuild(self) -> None:

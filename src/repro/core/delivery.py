@@ -16,7 +16,7 @@ Deliverability doubles as the paper's commit signal: a deliverable message
 is known to have no delayed predecessors.
 """
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.messages import AtomId, Stamp
 
@@ -51,7 +51,7 @@ class DeliveryState:
         #: optional observer called with the new buffer depth after every
         #: size change — lets :mod:`repro.obs` keep live occupancy gauges
         #: without polling (None = no overhead beyond one attribute check)
-        self.on_occupancy = None
+        self.on_occupancy: Optional[Callable[[int], None]] = None
 
     def resume_from(
         self,

@@ -92,6 +92,27 @@ class Placement:
             return list(self.nodes)
         return [node for node in self.nodes if not node.ingress_only]
 
+    def export(self) -> Dict[str, List[Dict[str, object]]]:
+        """Serialize for a sequencing-graph certificate.
+
+        Atom references use the same ``[kind, [groups]]`` encoding as
+        :meth:`SequencingGraph.export_certificate`, so the placement
+        section of a certificate is self-contained JSON.
+        """
+        return {
+            "nodes": [
+                {
+                    "node_id": node.node_id,
+                    "machine": node.machine,
+                    "ingress_only": node.ingress_only,
+                    "atom_ids": [
+                        [a.kind, list(a.groups)] for a in sorted(node.atom_ids)
+                    ],
+                }
+                for node in self.nodes
+            ]
+        }
+
     def __len__(self) -> int:
         return len(self.nodes)
 
@@ -272,9 +293,10 @@ def assign_machines(
                         best_dist = dist
                         best = node_id
                         best_anchor = other_id
-            placement.nodes[best].machine = neighbor_machine(
-                placement.nodes[best_anchor].machine
-            )
+            assert best is not None and best_anchor is not None
+            anchor_machine = placement.nodes[best_anchor].machine
+            assert anchor_machine is not None
+            placement.nodes[best].machine = neighbor_machine(anchor_machine)
             unassigned.remove(best)
 
     # Any node on no group's path (possible for fully retired nodes) gets a

@@ -26,7 +26,7 @@ sequencing proof depends on.
 """
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids obs coupling
     from repro.obs.registry import MetricsRegistry
@@ -172,14 +172,20 @@ class DeliveryRecord:
 class HostProcess(Process):
     """A subscriber/publisher end host."""
 
-    def __init__(self, sim: Simulator, host: Host, fabric: "OrderingFabric"):
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        fabric: "OrderingFabric",
+        delivery: DeliveryState,
+    ):
         super().__init__(sim, ("host", host.host_id))
         self.host = host
         self.fabric = fabric
-        self.delivery: Optional[DeliveryState] = None
+        self.delivery = delivery
         self.delivered: List[DeliveryRecord] = []
         #: messages known stable (delivered by every group member)
-        self.stable_ids: set = set()
+        self.stable_ids: Set[int] = set()
         self._egress_of: Dict[int, int] = {}
         self._crashed_until = 0.0
         self.crashes = 0
@@ -300,7 +306,7 @@ class SequencingNodeProcess(Process):
         self.crashes = 0
         self.packets_dropped_while_down = 0
         #: stability tracking: msg_id -> members whose ack is outstanding
-        self._stability_waiting: Dict[int, set] = {}
+        self._stability_waiting: Dict[int, Set[int]] = {}
         self._stability_members: Dict[int, List[int]] = {}
 
     def crash(self, duration: float) -> None:
@@ -370,7 +376,7 @@ class SequencingNodeProcess(Process):
                 self, self.fabric.host_processes[member], StableNotice(ack.msg_id)
             )
 
-    def expect_stability_acks(self, msg_id: int, members) -> None:
+    def expect_stability_acks(self, msg_id: int, members: Iterable[int]) -> None:
         """Arm stability tracking for one distributed message."""
         member_set = set(members)
         self._stability_waiting[msg_id] = set(member_set)
@@ -504,7 +510,8 @@ class OrderingFabric:
             self.sim, loss_rate=loss_rate, rng=_random.Random(seed + 1)
         )
         self.trace = Trace(enabled=trace)
-        self.on_deliver = None  # optional callback(host_id, DeliveryRecord)
+        #: optional application callback invoked on every delivery
+        self.on_deliver: Optional[Callable[[int, DeliveryRecord], None]] = None
 
         snapshot = membership.snapshot()
         self.graph = graph if graph is not None else SequencingGraph.build(
@@ -525,17 +532,18 @@ class OrderingFabric:
         runtimes = build_atom_runtimes(self.graph)
         self.host_processes: Dict[int, HostProcess] = {}
         for host in hosts:
-            process = HostProcess(self.sim, host, self)
-            process.delivery = DeliveryState(
+            delivery = DeliveryState(
                 host.host_id,
                 membership.groups_of(host.host_id),
                 self.graph.relevant_atoms_of(host.host_id),
             )
+            process = HostProcess(self.sim, host, self, delivery)
             self.network.add_process(process)
             self.host_processes[host.host_id] = process
         self.node_processes: Dict[int, SequencingNodeProcess] = {}
         for node in self.placement.nodes:
             node_runtimes = {a: runtimes[a] for a in node.atom_ids}
+            assert node.machine is not None, "place() assigns every machine"
             process = SequencingNodeProcess(
                 self.sim, node.node_id, node.machine, node_runtimes, self
             )

@@ -507,6 +507,56 @@ class SequencingGraph:
             if not chain_indices and group not in self._ingress_only:
                 raise GraphInvariantError(f"group {group} has no ingress atom")
 
+    def export_certificate(self, placement: Optional[object] = None) -> Dict:
+        """Serialize the graph (and optionally a placement) for auditing.
+
+        The result is a plain-JSON document in the
+        ``repro-sequencing-graph-certificate`` format that
+        :mod:`repro.check.graph_verify` re-proves C1/C2 and the ingress
+        and placement invariants from — independently of this class's
+        own :meth:`validate`.  Atom references are ``[kind, [groups]]``
+        pairs so external tooling needs no knowledge of
+        :class:`~repro.core.messages.AtomId`.
+
+        ``placement`` duck-types anything with a ``nodes`` list of
+        objects carrying ``node_id``/``machine``/``ingress_only``/
+        ``atom_ids`` (i.e. :class:`~repro.core.placement.Placement`);
+        it is serialized through its own ``export()`` when available.
+        """
+
+        def ref(atom_id: AtomId) -> List:
+            return [atom_id.kind, list(atom_id.groups)]
+
+        certificate: Dict = {
+            "format": "repro-sequencing-graph-certificate",
+            "version": 1,
+            "threshold": self._threshold,
+            "groups": {
+                str(g): sorted(members)
+                for g, members in sorted(self._group_members.items())
+            },
+            "atoms": [
+                {
+                    "kind": atom_id.kind,
+                    "groups": list(atom_id.groups),
+                    "overlap_members": sorted(spec.overlap_members),
+                    "retired": atom_id in self.retired,
+                }
+                for atom_id, spec in sorted(self.atoms.items())
+            ],
+            "chains": [[ref(atom) for atom in chain] for chain in self.chains],
+            "ingress_only": {
+                str(g): ref(atom_id)
+                for g, atom_id in sorted(self._ingress_only.items())
+            },
+        }
+        if placement is not None:
+            export = getattr(placement, "export", None)
+            certificate["placement"] = (
+                export() if callable(export) else placement
+            )
+        return certificate
+
     def clone(self) -> "SequencingGraph":
         """An independent copy sharing no mutable state.
 
@@ -604,6 +654,7 @@ class SequencingGraph:
             if best_cost is None or cost < best_cost:
                 best_cost = cost
                 best_chain = candidate
+        assert best_chain is not None  # len(chain) + 1 >= 1 candidates
         return best_chain
 
     def remove_group(self, group: int, lazy: bool = True) -> List[AtomId]:

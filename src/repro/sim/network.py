@@ -96,9 +96,11 @@ class Channel:
         if self.is_down:
             self.drops += 1
             return False
-        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
-            self.drops += 1
-            return False
+        if self.loss_rate > 0:
+            assert self._rng is not None  # enforced by the constructor
+            if self._rng.random() < self.loss_rate:
+                self.drops += 1
+                return False
         # Enforce FIFO: never deliver before a previously sent packet.
         arrival = max(self.sim.now + self.delay, self._last_delivery_time)
         self._last_delivery_time = arrival

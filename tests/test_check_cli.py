@@ -1,0 +1,129 @@
+"""End-to-end tests for the ``repro check`` CLI and runner plumbing."""
+
+import io
+import json
+
+from repro import cli
+from repro.check import CheckReport, Finding, render_json, render_text, sort_findings
+from repro.check.runner import DEFAULT_SCENARIOS, run_check
+
+
+def test_repro_check_exits_zero_on_this_repo(capsys):
+    # The CI gate: the shipped sources plus the self-verification graph
+    # sweep must be clean.
+    exit_code = cli.main(["check", "--format", "json"])
+    assert exit_code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "repro.check"
+    assert payload["summary"] == {"errors": 0, "warnings": 0}
+    assert payload["findings"] == []
+    assert payload["inspected"]["files"] > 30
+    assert payload["inspected"]["graphs"] >= len(DEFAULT_SCENARIOS)
+
+
+def test_check_lint_only_on_explicit_path(tmp_path, capsys):
+    bad = tmp_path / "repro" / "core"
+    bad.mkdir(parents=True)
+    (bad / "__init__.py").write_text("")
+    (bad / "clock.py").write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n"
+    )
+    exit_code = cli.main(
+        ["check", str(tmp_path / "repro"), "--no-graph", "--format", "json"]
+    )
+    assert exit_code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["errors"] == 1
+    (finding,) = payload["findings"]
+    assert finding["code"] == "SL101"
+    assert finding["file"].endswith("clock.py")
+
+
+def test_check_select_restricts_rules(tmp_path, capsys):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "util.py").write_text("def f(q=[]):\n    return q\n")
+    exit_code = cli.main(
+        ["check", str(pkg), "--no-graph", "--select", "SL105", "--format", "json"]
+    )
+    assert exit_code == 0
+    assert json.loads(capsys.readouterr().out)["findings"] == []
+
+
+def test_analyze_exports_verifiable_certificate(tmp_path, capsys):
+    cert_path = tmp_path / "cert.json"
+    exit_code = cli.main(
+        [
+            "analyze", "--hosts", "24", "--groups", "8", "--seed", "3",
+            "--export-certificate", str(cert_path),
+        ]
+    )
+    assert exit_code == 0
+    capsys.readouterr()  # drop the analyze report
+
+    exit_code = cli.main(
+        [
+            "check", "--no-lint", "--no-graph",
+            "--certificate", str(cert_path), "--format", "json",
+        ]
+    )
+    assert exit_code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["inspected"] == {"certificates": 1}
+    assert payload["findings"] == []
+
+
+def test_check_reports_corrupt_certificate(tmp_path, capsys):
+    cert_path = tmp_path / "bogus.json"
+    cert_path.write_text(json.dumps({"format": "wrong"}))
+    exit_code = cli.main(
+        ["check", "--no-lint", "--no-graph", "--certificate", str(cert_path)]
+    )
+    assert exit_code == 1
+    out = capsys.readouterr().out
+    assert "GV200" in out
+
+
+def test_run_check_text_format_to_stream():
+    stream = io.StringIO()
+    exit_code = run_check(
+        paths=(), certificates=(), lint=False, graphs=False,
+        fmt="text", stream=stream,
+    )
+    assert exit_code == 0
+    assert "0 error(s), 0 warning(s)" in stream.getvalue()
+
+
+# -- report plumbing ---------------------------------------------------------
+
+
+def test_sort_findings_orders_severity_then_location():
+    warn = Finding(code="SL104", message="w", severity="warning",
+                   file="b.py", line=1)
+    err_late = Finding(code="SL101", message="e", file="z.py", line=9)
+    err_early = Finding(code="SL101", message="e", file="a.py", line=2)
+    ordered = sort_findings([warn, err_late, err_early])
+    assert ordered == [err_early, err_late, warn]
+
+
+def test_render_text_and_json_agree_on_counts():
+    report = CheckReport(
+        findings=[
+            Finding(code="GV202", message="loop", anchor="Q(0,1)",
+                    tool="graph-verify"),
+            Finding(code="SL104", message="mutable", severity="warning",
+                    file="x.py", line=3, tool="simlint"),
+        ],
+        tools=["simlint", "graph-verify"],
+        inspected={"files": 1},
+    )
+    assert report.exit_code == 1
+    text = render_text(report)
+    assert "1 error(s), 1 warning(s)" in text
+    assert "Q(0,1): error: GV202" in text
+    payload = json.loads(render_json(report))
+    assert payload["summary"] == {"errors": 1, "warnings": 1}
+    assert payload["findings"][0]["code"] == "GV202"
+    assert payload["findings"][0]["anchor"] == "Q(0,1)"
+    assert payload["findings"][1]["file"] == "x.py"

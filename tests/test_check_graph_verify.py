@@ -1,0 +1,231 @@
+"""Adversarial fixtures for the independent graph verifier.
+
+Each corrupted certificate must produce *exactly one* finding with the
+right code — a verifier that floods secondary findings for one root
+cause is as useless in CI as one that misses the violation.
+"""
+
+import json
+import random
+
+from repro.check import CERTIFICATE_FORMAT, load_certificate, verify_certificate
+from repro.check.graph_verify import verify_graph
+from repro.core.sequencing_graph import SequencingGraph
+
+
+def base_certificate():
+    """A minimal well-formed certificate: three groups on one chain.
+
+    Groups 0/1 share members {2, 3}; groups 1/2 share {4, 5}; the two
+    overlap atoms Q(0,1) and Q(1,2) form a single two-atom chain, so
+    every group's atoms trivially lie on one path.
+    """
+    return {
+        "format": CERTIFICATE_FORMAT,
+        "version": 1,
+        "threshold": 2,
+        "groups": {"0": [0, 1, 2, 3], "1": [2, 3, 4, 5], "2": [4, 5, 6, 7]},
+        "atoms": [
+            {"kind": "overlap", "groups": [0, 1], "overlap_members": [2, 3],
+             "retired": False},
+            {"kind": "overlap", "groups": [1, 2], "overlap_members": [4, 5],
+             "retired": False},
+        ],
+        "chains": [[["overlap", [0, 1]], ["overlap", [1, 2]]]],
+        "ingress_only": {},
+    }
+
+
+def test_base_certificate_is_clean():
+    assert verify_certificate(base_certificate()) == []
+
+
+def test_c2_cycle_yields_exactly_one_gv202():
+    cert = base_certificate()
+    # The chain revisits Q(0,1): serialized form of a loop A-B-A.
+    cert["chains"] = [
+        [["overlap", [0, 1]], ["overlap", [1, 2]], ["overlap", [0, 1]]]
+    ]
+    findings = verify_certificate(cert)
+    assert [f.code for f in findings] == ["GV202"]
+    assert findings[0].anchor == "Q(0,1)"
+    assert "C2" in findings[0].message
+
+
+def test_c1_split_path_yields_exactly_one_gv201():
+    cert = {
+        "format": CERTIFICATE_FORMAT,
+        "version": 1,
+        "threshold": 2,
+        # Group 0 overlaps group 1 (members 0, 1) and group 2 (members
+        # 2, 3), but its two atoms sit on two disconnected chains.
+        "groups": {"0": [0, 1, 2, 3], "1": [0, 1, 8], "2": [2, 3, 9]},
+        "atoms": [
+            {"kind": "overlap", "groups": [0, 1], "overlap_members": [0, 1],
+             "retired": False},
+            {"kind": "overlap", "groups": [0, 2], "overlap_members": [2, 3],
+             "retired": False},
+        ],
+        "chains": [[["overlap", [0, 1]]], [["overlap", [0, 2]]]],
+        "ingress_only": {},
+    }
+    findings = verify_certificate(cert)
+    assert [f.code for f in findings] == ["GV201"]
+    assert findings[0].anchor == "group 0"
+    assert "disconnected" in findings[0].message
+
+
+def test_c1_group_split_across_chains_yields_gv201():
+    # Group 3 gains atoms on both chains while every other group stays
+    # on a single path; only group 3 may be reported.
+    cert = base_certificate()
+    cert["groups"]["3"] = [2, 3, 6, 7]
+    cert["groups"]["4"] = [6, 7, 12]
+    cert["atoms"].append(
+        {"kind": "overlap", "groups": [0, 3], "overlap_members": [2, 3],
+         "retired": False}
+    )
+    cert["atoms"].append(
+        {"kind": "overlap", "groups": [3, 4], "overlap_members": [6, 7],
+         "retired": False}
+    )
+    cert["chains"] = [
+        [["overlap", [0, 1]], ["overlap", [1, 2]], ["overlap", [0, 3]]],
+        [["overlap", [3, 4]]],
+    ]
+    findings = verify_certificate(cert)
+    assert [f.code for f in findings] == ["GV201"]
+    assert findings[0].anchor == "group 3"
+
+
+def test_duplicated_ingress_yields_exactly_one_gv203():
+    cert = base_certificate()
+    # Group 1 already has active overlap atoms; an ingress-only atom on
+    # top of them is a second, independent group-local sequence space.
+    cert["atoms"].append(
+        {"kind": "ingress", "groups": [1], "overlap_members": [],
+         "retired": False}
+    )
+    cert["ingress_only"] = {"1": ["ingress", [1]]}
+    findings = verify_certificate(cert)
+    assert [f.code for f in findings] == ["GV203"]
+    assert findings[0].anchor == "group 1"
+    assert "duplicated ingress" in findings[0].message
+
+
+def test_group_without_ingress_yields_gv203():
+    cert = base_certificate()
+    cert["groups"]["9"] = [20, 21]  # no atoms, no ingress entry
+    findings = verify_certificate(cert)
+    assert [f.code for f in findings] == ["GV203"]
+    assert findings[0].anchor == "group 9"
+    assert "no ingress" in findings[0].message
+
+
+def test_below_threshold_overlap_yields_gv204():
+    cert = base_certificate()
+    cert["groups"]["1"] = [3, 4, 5]  # groups 0 and 1 now share only {3}
+    findings = verify_certificate(cert)
+    assert [f.code for f in findings] == ["GV204"]
+    assert findings[0].anchor == "Q(0,1)"
+
+
+def test_atom_on_unknown_group_yields_gv204():
+    cert = base_certificate()
+    del cert["groups"]["2"]
+    findings = verify_certificate(cert)
+    codes = [f.code for f in findings]
+    assert "GV204" in codes
+    gv204 = [f for f in findings if f.code == "GV204"]
+    assert gv204[0].anchor == "Q(1,2)"
+
+
+def test_undeclared_chain_atom_yields_gv200():
+    cert = base_certificate()
+    cert["atoms"] = cert["atoms"][:1]  # chain still references Q(1,2)
+    findings = verify_certificate(cert)
+    assert "GV200" in [f.code for f in findings]
+
+
+def test_malformed_certificate_yields_gv200():
+    findings = verify_certificate(
+        {"format": CERTIFICATE_FORMAT, "chains": [[["overlap", "oops"]]]}
+    )
+    assert [f.code for f in findings] == ["GV200"]
+
+
+def test_placement_double_colocation_yields_gv205():
+    cert = base_certificate()
+    cert["placement"] = {
+        "nodes": [
+            {"node_id": 0, "machine": 3, "ingress_only": False,
+             "atom_ids": [["overlap", [0, 1]], ["overlap", [1, 2]]]},
+            {"node_id": 1, "machine": 4, "ingress_only": False,
+             "atom_ids": [["overlap", [1, 2]]]},
+        ]
+    }
+    findings = verify_certificate(cert)
+    assert [f.code for f in findings] == ["GV205"]
+    assert findings[0].anchor == "Q(1,2)"
+
+
+def test_placement_missing_machine_and_chain_atom():
+    cert = base_certificate()
+    cert["placement"] = {
+        "nodes": [
+            {"node_id": 0, "machine": None, "ingress_only": False,
+             "atom_ids": [["overlap", [0, 1]]]},
+        ]
+    }
+    findings = verify_certificate(cert)
+    codes = sorted(f.code for f in findings)
+    assert codes == ["GV205", "GV205"]  # no machine + Q(1,2) unplaced
+
+
+# -- live graphs -------------------------------------------------------------
+
+
+def membership(spec):
+    return {g: frozenset(m) for g, m in spec.items()}
+
+
+def test_live_graph_verifies_clean():
+    graph = SequencingGraph.build(
+        membership({0: {0, 1, 2, 3}, 1: {2, 3, 4, 5}, 2: {4, 5, 6, 7},
+                    3: {10, 11}}),
+        rng=random.Random(0),
+    )
+    assert verify_graph(graph) == []
+
+
+def test_live_graph_after_churn_verifies_clean():
+    graph = SequencingGraph.build(
+        membership({0: {0, 1, 2, 3}, 1: {2, 3, 4, 5}, 2: {4, 5, 6, 7}}),
+        rng=random.Random(0),
+    )
+    graph.remove_group(1, lazy=True)
+    graph.add_group(3, [0, 1, 6, 7])
+    assert verify_graph(graph) == []
+
+
+def test_certificate_round_trip(tmp_path):
+    graph = SequencingGraph.build(
+        membership({0: {0, 1, 2, 3}, 1: {2, 3, 4, 5}}),
+        rng=random.Random(0),
+    )
+    path = tmp_path / "graph-cert.json"
+    path.write_text(json.dumps(graph.export_certificate()))
+    cert = load_certificate(path)
+    assert cert["format"] == CERTIFICATE_FORMAT
+    assert verify_certificate(cert) == []
+
+
+def test_load_certificate_rejects_wrong_format(tmp_path):
+    path = tmp_path / "not-a-cert.json"
+    path.write_text(json.dumps({"format": "something-else"}))
+    try:
+        load_certificate(path)
+    except ValueError as exc:
+        assert CERTIFICATE_FORMAT in str(exc)
+    else:
+        raise AssertionError("expected ValueError for wrong format")

@@ -1,0 +1,427 @@
+"""Golden tests for the simlint determinism rules.
+
+Every rule gets (at least) a violating snippet and the same snippet with
+an inline suppression; the linter must flag the former and stay silent
+on the latter.  Snippets are linted under a sim-scoped module name
+(``repro.core.inline``) so the "sim"-scoped rules apply.
+"""
+
+import textwrap
+
+from repro.check import RULES, lint_source
+
+
+def lint(source, module="repro.core.inline", select=None):
+    return lint_source(textwrap.dedent(source), module=module, select=select)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# -- SL101 wall-clock --------------------------------------------------------
+
+
+def test_sl101_flags_time_time():
+    findings = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        select=["SL101"],
+    )
+    assert codes(findings) == ["SL101"]
+    assert "wall-clock" in findings[0].message
+
+
+def test_sl101_resolves_from_import_and_alias():
+    findings = lint(
+        """
+        from time import perf_counter
+        import time as _t
+
+        def profile():
+            return perf_counter() + _t.monotonic()
+        """,
+        select=["SL101"],
+    )
+    assert codes(findings) == ["SL101", "SL101"]
+
+
+def test_sl101_trailing_suppression():
+    findings = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # simlint: disable=SL101 -- host-side log only
+        """,
+        select=["SL101"],
+    )
+    assert findings == []
+
+
+def test_sl101_comment_above_suppression():
+    findings = lint(
+        """
+        from time import perf_counter
+
+        def profile():
+            # simlint: disable=SL101 -- wall-time accounting only
+            return perf_counter()
+        """,
+        select=["SL101"],
+    )
+    assert findings == []
+
+
+def test_sl101_not_applied_outside_sim_scope():
+    findings = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        module="repro.analysis.report",
+        select=["SL101"],
+    )
+    assert findings == []
+
+
+# -- SL102 global random -----------------------------------------------------
+
+
+def test_sl102_flags_global_random_call():
+    findings = lint(
+        """
+        import random
+
+        def pick(items):
+            return random.choice(items)
+        """,
+        select=["SL102"],
+    )
+    assert codes(findings) == ["SL102"]
+
+
+def test_sl102_allows_constructing_random_instances():
+    findings = lint(
+        """
+        import random
+
+        def make_rng(seed):
+            return random.Random(seed)
+        """,
+        select=["SL102"],
+    )
+    assert findings == []
+
+
+def test_sl102_allows_injected_rng_methods():
+    findings = lint(
+        """
+        def pick(rng, items):
+            return rng.choice(items)
+        """,
+        select=["SL102"],
+    )
+    assert findings == []
+
+
+def test_sl102_suppressed():
+    findings = lint(
+        """
+        import random
+
+        def pick(items):
+            return random.choice(items)  # simlint: disable=SL102 -- demo code
+        """,
+        select=["SL102"],
+    )
+    assert findings == []
+
+
+# -- SL103 float time equality -----------------------------------------------
+
+
+def test_sl103_flags_timestamp_equality():
+    findings = lint(
+        """
+        def ready(event, sim):
+            return event.time == sim.now
+        """,
+        select=["SL103"],
+    )
+    assert codes(findings) == ["SL103"]
+
+
+def test_sl103_allows_ordering_comparisons():
+    findings = lint(
+        """
+        def ready(event, sim):
+            return event.time <= sim.now
+        """,
+        select=["SL103"],
+    )
+    assert findings == []
+
+
+def test_sl103_exempts_none_and_zero():
+    findings = lint(
+        """
+        def unset(deadline, arrival):
+            return deadline is not None and arrival != 0 and deadline == None
+        """,
+        select=["SL103"],
+    )
+    assert findings == []
+
+
+def test_sl103_durations_not_flagged():
+    findings = lint(
+        """
+        def same_delay(a, b):
+            return a.delay == b.delay
+        """,
+        select=["SL103"],
+    )
+    assert findings == []
+
+
+def test_sl103_suppressed():
+    findings = lint(
+        """
+        def ready(event, sim):
+            return event.time == sim.now  # simlint: disable=SL103 -- exact replay check
+        """,
+        select=["SL103"],
+    )
+    assert findings == []
+
+
+# -- SL104 mutable default ---------------------------------------------------
+
+
+def test_sl104_flags_mutable_defaults():
+    findings = lint(
+        """
+        def enqueue(item, queue=[]):
+            queue.append(item)
+            return queue
+        """,
+        select=["SL104"],
+    )
+    assert codes(findings) == ["SL104"]
+
+
+def test_sl104_flags_constructor_call_defaults():
+    findings = lint(
+        """
+        def track(seen=set()):
+            return seen
+        """,
+        select=["SL104"],
+    )
+    assert codes(findings) == ["SL104"]
+
+
+def test_sl104_none_default_clean_and_suppression():
+    assert lint(
+        """
+        def enqueue(item, queue=None):
+            queue = [] if queue is None else queue
+            return queue
+        """,
+        select=["SL104"],
+    ) == []
+    assert lint(
+        """
+        def enqueue(item, queue=[]):  # simlint: disable=SL104 -- read-only sentinel
+            return queue
+        """,
+        select=["SL104"],
+    ) == []
+
+
+def test_sl104_applies_outside_sim_scope():
+    findings = lint(
+        """
+        def enqueue(item, queue=[]):
+            return queue
+        """,
+        module="repro.analysis.report",
+        select=["SL104"],
+    )
+    assert codes(findings) == ["SL104"]
+
+
+# -- SL105 bare except -------------------------------------------------------
+
+
+def test_sl105_flags_bare_except():
+    findings = lint(
+        """
+        def run(step):
+            try:
+                step()
+            except:
+                pass
+        """,
+        select=["SL105"],
+    )
+    assert codes(findings) == ["SL105"]
+
+
+def test_sl105_typed_except_clean_and_suppression():
+    assert lint(
+        """
+        def run(step):
+            try:
+                step()
+            except ValueError:
+                pass
+        """,
+        select=["SL105"],
+    ) == []
+    assert lint(
+        """
+        def run(step):
+            try:
+                step()
+            except:  # simlint: disable=SL105 -- last-resort crash shield
+                pass
+        """,
+        select=["SL105"],
+    ) == []
+
+
+# -- SL106 unordered iteration into sinks ------------------------------------
+
+
+def test_sl106_flags_set_literal_into_schedule():
+    findings = lint(
+        """
+        def fanout(sim, callbacks):
+            for cb in {c for c in callbacks}:
+                sim.schedule(1.0, cb)
+        """,
+        select=["SL106"],
+    )
+    assert codes(findings) == ["SL106"]
+
+
+def test_sl106_flags_set_algebra_into_send():
+    findings = lint(
+        """
+        def notify(channel, a_members, b_members):
+            for host in a_members & b_members:
+                channel.send(host)
+        """,
+        select=["SL106"],
+    )
+    assert codes(findings) == ["SL106"]
+
+
+def test_sl106_sorted_launders_order():
+    findings = lint(
+        """
+        def notify(channel, a_members, b_members):
+            for host in sorted(a_members & b_members):
+                channel.send(host)
+        """,
+        select=["SL106"],
+    )
+    assert findings == []
+
+
+def test_sl106_set_without_sink_clean_and_suppression():
+    assert lint(
+        """
+        def total(values):
+            acc = 0
+            for v in {x for x in values}:
+                acc += v
+            return acc
+        """,
+        select=["SL106"],
+    ) == []
+    assert lint(
+        """
+        def fanout(sim, callbacks):
+            # simlint: disable=SL106 -- commutative: all at the same instant
+            for cb in {c for c in callbacks}:
+                sim.schedule(1.0, cb)
+        """,
+        select=["SL106"],
+    ) == []
+
+
+# -- machinery ---------------------------------------------------------------
+
+
+def test_sl100_syntax_error():
+    findings = lint_source("def broken(:\n    pass\n", rel="bad.py")
+    assert codes(findings) == ["SL100"]
+    assert findings[0].file == "bad.py"
+
+
+def test_disable_file_directive():
+    findings = lint(
+        """
+        # simlint: disable-file=SL102
+        import random
+
+        def pick(items):
+            return random.choice(items) or random.random()
+        """,
+        select=["SL102"],
+    )
+    assert findings == []
+
+
+def test_disable_all_on_line():
+    findings = lint(
+        """
+        import time, random
+
+        def stamp(items):
+            return time.time(), random.choice(items)  # simlint: disable=all
+        """,
+        select=["SL101", "SL102"],
+    )
+    assert findings == []
+
+
+def test_select_restricts_rules():
+    source = """
+    import time
+
+    def stamp(queue=[]):
+        return time.time(), queue
+    """
+    assert codes(lint(source, select=["SL104"])) == ["SL104"]
+    assert sorted(codes(lint(source))) == ["SL101", "SL104"]
+
+
+def test_rule_registry_is_complete():
+    assert set(RULES) == {"SL101", "SL102", "SL103", "SL104", "SL105", "SL106"}
+    for code, rule in RULES.items():
+        assert rule.code == code
+        assert rule.scope in ("sim", "all")
+        assert rule.summary
+
+
+def test_findings_carry_location_metadata():
+    findings = lint_source(
+        "import time\n\n\ndef f():\n    return time.time()\n",
+        rel="src/repro/core/fake.py",
+        module="repro.core.fake",
+    )
+    (finding,) = findings
+    assert finding.file == "src/repro/core/fake.py"
+    assert finding.line == 5
+    assert finding.tool == "simlint"
+    assert finding.location() == "src/repro/core/fake.py:5"

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.pubsub.membership import GroupMembership
 
 
