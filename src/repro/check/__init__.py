@@ -13,8 +13,17 @@ Two analyzers share one finding model and one entry point:
   co-location consistency, from a live graph or an exported JSON
   certificate.
 
-Run both with ``repro check`` (see :mod:`repro.check.runner`); the rule
-catalog lives in ``docs/STATIC_ANALYSIS.md``.
+A third analyzer audits *runtime* behaviour rather than code or graphs:
+
+* :mod:`repro.check.invariants` — re-checks a finished simulation's
+  delivery logs (``RT3xx``): per-group total order, exactly-once,
+  quiescence, publisher FIFO, mutual consistency, causal order, and
+  stability.  Used by the fault-injection campaigns in
+  :mod:`repro.faults` and the ``repro chaos`` CLI.
+
+Run the static pair with ``repro check`` (see :mod:`repro.check.runner`);
+the rule catalog lives in ``docs/STATIC_ANALYSIS.md`` and the runtime
+invariants in ``docs/FAULTS.md``.
 """
 
 from repro.check.findings import (
@@ -30,6 +39,7 @@ from repro.check.graph_verify import (
     verify_certificate,
     verify_graph,
 )
+from repro.check.invariants import verify_run
 from repro.check.runner import run_check
 from repro.check.simlint import RULES, lint_path, lint_source
 
@@ -47,4 +57,5 @@ __all__ = [
     "sort_findings",
     "verify_certificate",
     "verify_graph",
+    "verify_run",
 ]

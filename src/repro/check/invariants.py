@@ -1,0 +1,321 @@
+"""Runtime verification of ordering invariants over a completed run.
+
+Where :mod:`repro.check.graph_verify` re-proves *static* graph properties
+(C1/C2), this module audits what a simulation actually **did**: it reads
+the delivery logs out of a (quiescent) :class:`~repro.core.protocol.
+OrderingFabric` and re-checks the paper's end-to-end guarantees, plus the
+liveness properties a fault-injection campaign puts at risk.  The chaos
+runner (:mod:`repro.faults.campaign`) calls :func:`verify_run` after every
+run; tests and the ``repro chaos`` CLI gate on an empty finding list.
+
+Checks (``RT3xx`` codes, tool ``runtime-verify``):
+
+* **RT300 group order** — all members of a group delivered the group's
+  messages in the identical order (the paper's per-group total order).
+* **RT301 duplicate delivery** — no host delivered the same message twice
+  (exactly-once despite retransmission, crash recovery, and failover).
+* **RT302 missing delivery** — every published message reached every
+  member of its destination group (skipped with ``complete=False`` for
+  runs that legitimately abandon traffic, e.g. exhausted link budgets).
+* **RT303 residual buffering** — no host still holds undeliverable
+  messages in its hold-back buffer (no sequencing gap survived the run).
+* **RT304 publisher FIFO** — each receiver delivered any one publisher's
+  messages to a group in publication order.
+* **RT305 mutual consistency** — any two hosts agree on the relative
+  order of every pair of messages they both delivered, across groups
+  (Theorem 1's consistency, observed rather than assumed).
+* **RT306 causal order** — if a publisher delivered ``m`` strictly before
+  publishing ``m'``, no host that delivered both saw ``m'`` first
+  (requires publishers subscribing to the groups they publish to —
+  Section 3.1's causality precondition; disable with ``causal=False``).
+* **RT307 stability** — every message a host learned stable was in fact
+  delivered by all members of its group (``track_stability`` runs only).
+"""
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.check.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - keeps repro.check import-light
+    from repro.core.protocol import OrderingFabric
+
+TOOL = "runtime-verify"
+
+#: Stop emitting findings for one check after this many (chaos runs with a
+#: real bug would otherwise drown the report in thousands of repeats).
+MAX_FINDINGS_PER_CHECK = 25
+
+
+def _finding(code: str, message: str, anchor: str) -> Finding:
+    return Finding(code=code, message=message, anchor=anchor, tool=TOOL)
+
+
+def _delivered_ids(fabric: "OrderingFabric", host_id: int) -> List[int]:
+    return [r.msg_id for r in fabric.host_processes[host_id].delivered]
+
+
+def check_group_order(fabric: "OrderingFabric") -> List[Finding]:
+    """RT300: members of each group delivered its messages identically."""
+    findings: List[Finding] = []
+    for group in sorted(fabric.membership.groups()):
+        members = sorted(fabric.membership.members(group))
+        reference: List[int] = []
+        reference_host = -1
+        for host_id in members:
+            order = [
+                r.msg_id
+                for r in fabric.host_processes[host_id].delivered
+                if r.stamp.group == group
+            ]
+            if reference_host < 0:
+                reference = order
+                reference_host = host_id
+            elif order != reference:
+                findings.append(
+                    _finding(
+                        "RT300",
+                        f"hosts {reference_host} and {host_id} delivered "
+                        f"group {group} in different orders "
+                        f"({reference[:8]}... vs {order[:8]}...)",
+                        f"group {group}",
+                    )
+                )
+            if len(findings) >= MAX_FINDINGS_PER_CHECK:
+                return findings
+    return findings
+
+
+def check_exactly_once(
+    fabric: "OrderingFabric", complete: bool = True
+) -> List[Finding]:
+    """RT301/RT302: no duplicates; every message reached every member."""
+    findings: List[Finding] = []
+    counts: Dict[int, Dict[int, int]] = {}
+    for host_id in sorted(fabric.host_processes):
+        per_host: Dict[int, int] = {}
+        for msg_id in _delivered_ids(fabric, host_id):
+            per_host[msg_id] = per_host.get(msg_id, 0) + 1
+        counts[host_id] = per_host
+        duplicates = sorted(m for m, n in per_host.items() if n > 1)
+        if duplicates:
+            findings.append(
+                _finding(
+                    "RT301",
+                    f"host {host_id} delivered messages more than once: "
+                    f"{duplicates[:8]}",
+                    f"host {host_id}",
+                )
+            )
+    if not complete:
+        return findings
+    for msg_id in sorted(fabric.published):
+        message = fabric.published[msg_id]
+        missing = [
+            member
+            for member in sorted(fabric.membership.members(message.group))
+            if counts.get(member, {}).get(msg_id, 0) == 0
+        ]
+        if missing:
+            findings.append(
+                _finding(
+                    "RT302",
+                    f"message {msg_id} (group {message.group}) never "
+                    f"delivered at members {missing}",
+                    f"msg {msg_id}",
+                )
+            )
+        if len(findings) >= MAX_FINDINGS_PER_CHECK:
+            break
+    return findings
+
+
+def check_no_residual_buffering(fabric: "OrderingFabric") -> List[Finding]:
+    """RT303: the run quiesced with empty hold-back buffers everywhere."""
+    return [
+        _finding(
+            "RT303",
+            f"host {host_id} still buffers {pending} undeliverable "
+            "message(s) — a sequencing gap survived the run",
+            f"host {host_id}",
+        )
+        for host_id, pending in sorted(fabric.pending_messages().items())
+    ]
+
+
+def check_publisher_fifo(fabric: "OrderingFabric") -> List[Finding]:
+    """RT304: per (publisher, group) delivery follows publication order.
+
+    Message ids are allocated in publication order, so within one
+    publisher and group the delivered id subsequence must be increasing.
+    """
+    findings: List[Finding] = []
+    for host_id in sorted(fabric.host_processes):
+        last_seen: Dict[Tuple[int, int], int] = {}
+        for record in fabric.host_processes[host_id].delivered:
+            key = (record.sender, record.stamp.group)
+            previous = last_seen.get(key, -1)
+            if record.msg_id < previous:
+                findings.append(
+                    _finding(
+                        "RT304",
+                        f"host {host_id} delivered message {record.msg_id} "
+                        f"after {previous} from the same publisher "
+                        f"{record.sender} in group {record.stamp.group}",
+                        f"host {host_id}",
+                    )
+                )
+                if len(findings) >= MAX_FINDINGS_PER_CHECK:
+                    return findings
+            else:
+                last_seen[key] = record.msg_id
+    return findings
+
+
+def check_mutual_consistency(fabric: "OrderingFabric") -> List[Finding]:
+    """RT305: pairwise agreement on the order of commonly delivered messages."""
+    findings: List[Finding] = []
+    host_ids = sorted(fabric.host_processes)
+    orders = {h: _delivered_ids(fabric, h) for h in host_ids}
+    for i, a in enumerate(host_ids):
+        seq_a = orders[a]
+        set_a = set(seq_a)
+        for b in host_ids[i + 1 :]:
+            seq_b = orders[b]
+            common = set_a & set(seq_b)
+            if not common:
+                continue
+            ordered_a = [m for m in seq_a if m in common]
+            ordered_b = [m for m in seq_b if m in common]
+            if ordered_a != ordered_b:
+                findings.append(
+                    _finding(
+                        "RT305",
+                        f"hosts {a} and {b} disagree on the relative order "
+                        "of commonly delivered messages",
+                        f"hosts {a},{b}",
+                    )
+                )
+                if len(findings) >= MAX_FINDINGS_PER_CHECK:
+                    return findings
+    return findings
+
+
+def check_causal_order(fabric: "OrderingFabric") -> List[Finding]:
+    """RT306: publish-after-deliver dependencies respected everywhere.
+
+    For each message ``m'``, its causal dependencies are the messages its
+    publisher had *delivered* strictly before publishing ``m'``.  Any host
+    delivering both must deliver the dependency first.  Deliveries at the
+    same virtual instant as the publish are skipped (ordering within one
+    instant is not observable from the logs).
+    """
+    findings: List[Finding] = []
+    positions: Dict[int, Dict[int, int]] = {
+        host_id: {
+            r.msg_id: index
+            for index, r in enumerate(fabric.host_processes[host_id].delivered)
+        }
+        for host_id in sorted(fabric.host_processes)
+    }
+    for msg_id in sorted(fabric.published):
+        message = fabric.published[msg_id]
+        publisher = fabric.host_processes.get(message.sender)
+        if publisher is None:
+            continue
+        dependencies = [
+            r.msg_id
+            for r in publisher.delivered
+            if r.time < message.publish_time
+        ]
+        if not dependencies:
+            continue
+        for host_id in sorted(positions):
+            pos = positions[host_id]
+            if msg_id not in pos:
+                continue
+            for dep in dependencies:
+                dep_pos = pos.get(dep)
+                if dep_pos is not None and dep_pos > pos[msg_id]:
+                    findings.append(
+                        _finding(
+                            "RT306",
+                            f"host {host_id} delivered {msg_id} before its "
+                            f"causal dependency {dep} (publisher "
+                            f"{message.sender} delivered {dep} before "
+                            f"publishing {msg_id})",
+                            f"host {host_id}",
+                        )
+                    )
+                    if len(findings) >= MAX_FINDINGS_PER_CHECK:
+                        return findings
+    return findings
+
+
+def check_stability(fabric: "OrderingFabric") -> List[Finding]:
+    """RT307: stability notices imply delivery at every group member."""
+    findings: List[Finding] = []
+    if not fabric.track_stability:
+        return findings
+    delivered_sets = {
+        host_id: set(_delivered_ids(fabric, host_id))
+        for host_id in sorted(fabric.host_processes)
+    }
+    for host_id in sorted(fabric.host_processes):
+        for msg_id in sorted(fabric.host_processes[host_id].stable_ids):
+            message = fabric.published.get(msg_id)
+            if message is None:
+                continue
+            missing = [
+                member
+                for member in sorted(fabric.membership.members(message.group))
+                if msg_id not in delivered_sets.get(member, set())
+            ]
+            if missing:
+                findings.append(
+                    _finding(
+                        "RT307",
+                        f"host {host_id} learned message {msg_id} stable "
+                        f"but members {missing} never delivered it",
+                        f"msg {msg_id}",
+                    )
+                )
+                if len(findings) >= MAX_FINDINGS_PER_CHECK:
+                    return findings
+    return findings
+
+
+def verify_run(
+    fabric: "OrderingFabric",
+    complete: bool = True,
+    causal: bool = True,
+    mutual: bool = True,
+) -> List[Finding]:
+    """Audit a finished run against the paper's delivery guarantees.
+
+    Parameters
+    ----------
+    fabric:
+        A fabric whose simulation has run to quiescence.
+    complete:
+        Also require every published message delivered at every member
+        (RT302) — disable for runs that intentionally abandon traffic.
+    causal:
+        Check publish-after-deliver causality (RT306); valid when
+        publishers subscribe to the groups they publish to.
+    mutual:
+        Check pairwise cross-group agreement (RT305); quadratic in hosts,
+        so very large sweeps may want it off.
+
+    Returns the (possibly empty) list of findings, deterministic in order.
+    """
+    findings: List[Finding] = []
+    findings.extend(check_group_order(fabric))
+    findings.extend(check_exactly_once(fabric, complete=complete))
+    findings.extend(check_no_residual_buffering(fabric))
+    findings.extend(check_publisher_fifo(fabric))
+    if mutual:
+        findings.extend(check_mutual_consistency(fabric))
+    if causal:
+        findings.extend(check_causal_order(fabric))
+    findings.extend(check_stability(fabric))
+    return findings

@@ -16,6 +16,8 @@ Subcommands::
     repro check --format json        # static analysis: simlint determinism
                                      # rules + C1/C2 graph verification
     repro check --certificate g.json # audit an exported graph certificate
+    repro chaos --runs 3 --seed 0    # seeded fault-injection campaigns with
+                                     # failover; nonzero exit on violation
 
 Also runnable as ``python -m repro.cli``.
 """
@@ -103,6 +105,76 @@ def _cmd_check(args: argparse.Namespace) -> int:
         select=args.select or None,
         fmt=args.format,
     )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.campaign import ChaosConfig, run_campaign
+
+    reports = []
+    failed = 0
+    for run_index in range(args.runs):
+        config = ChaosConfig(
+            hosts=args.hosts,
+            groups=args.groups,
+            events=args.events,
+            seed=args.seed + run_index,
+            horizon=args.horizon,
+            loss_rate=args.loss,
+            heartbeat_interval=args.interval,
+            suspect_after=args.suspect_after,
+            transfer_delay=args.transfer_delay,
+            max_retransmits=args.max_retransmits,
+        )
+        report = run_campaign(config)
+        reports.append(report)
+        if not report["ok"]:
+            failed += 1
+    payload = {
+        "runs": len(reports),
+        "failed": failed,
+        "ok": failed == 0,
+        "reports": reports,
+    }
+    if args.format == "json":
+        rendered = json.dumps(payload, indent=2)
+    else:
+        lines = []
+        for report in reports:
+            seed = report["config"]["seed"]
+            latencies = [
+                f"{f['detection_latency_ms']:.1f}ms"
+                for f in report["failovers"]
+                if f["detection_latency_ms"] is not None
+            ]
+            by_cause = ", ".join(
+                f"{cause}={count}"
+                for cause, count in report["retransmissions"]["by_cause"].items()
+            )
+            status = "ok" if report["ok"] else "FAIL"
+            lines.append(
+                f"seed {seed}: {status} — published {report['published']}, "
+                f"delivered {report['delivered']}, "
+                f"failovers {len(report['failovers'])} "
+                f"(detection {', '.join(latencies) or 'n/a'}), "
+                f"retransmissions {report['retransmissions']['total']} "
+                f"({by_cause}), drops loss={report['drops']['loss']} "
+                f"outage={report['drops']['outage']}, "
+                f"link failures {report['link_failures']}"
+            )
+            for finding in report["findings"]:
+                lines.append(f"  {finding['code']}: {finding['message']}")
+        lines.append(
+            f"{len(reports)} run(s), {failed} failed"
+            + ("" if failed == 0 else " — invariant violations above")
+        )
+        rendered = "\n".join(lines)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"chaos report written to {args.out}")
+    else:
+        print(rendered)
+    return 0 if failed == 0 else 1
 
 
 def _cmd_workload(args: argparse.Namespace) -> int:
@@ -249,6 +321,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     check.set_defaults(func=_cmd_check)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaigns with detection and failover",
+    )
+    chaos.add_argument("--hosts", type=int, default=24)
+    chaos.add_argument("--groups", type=int, default=8)
+    chaos.add_argument("--events", type=int, default=60)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--runs", type=int, default=1,
+        help="campaigns to run (seeds seed, seed+1, ...)",
+    )
+    chaos.add_argument(
+        "--horizon", type=float, default=400.0,
+        help="traffic/fault window in virtual ms",
+    )
+    chaos.add_argument(
+        "--loss", type=float, default=0.01,
+        help="baseline per-packet loss probability",
+    )
+    chaos.add_argument(
+        "--interval", type=float, default=5.0,
+        help="heartbeat ping interval in virtual ms",
+    )
+    chaos.add_argument(
+        "--suspect-after", type=int, default=3,
+        help="missed heartbeat intervals tolerated before suspicion",
+    )
+    chaos.add_argument(
+        "--transfer-delay", type=float, default=1.0,
+        help="failover state-transfer downtime in virtual ms",
+    )
+    chaos.add_argument(
+        "--max-retransmits", type=int, default=None,
+        help="per-packet retransmission budget (default: fabric default)",
+    )
+    chaos.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    chaos.add_argument("--out", default=None, help="write the report here")
+    chaos.set_defaults(func=_cmd_chaos)
 
     workload = sub.add_parser("workload", help="record/replay workload traces")
     workload.add_argument("action", choices=("record", "replay"))

@@ -49,8 +49,28 @@ from repro.topology.routing import RoutingTable
 LOCAL_HOP_DELAY = 0.01
 #: Serialized size of an acknowledgment packet.
 ACK_BYTES = 12
-#: Give up after this many retransmissions of one packet.
+#: Give up after this many retransmissions of one packet (fabric default;
+#: override per fabric with ``max_retransmits=``).
 MAX_RETRANSMITS = 60
+#: Exponential backoff stops doubling after this many attempts (the
+#: timeout is capped at ``base * 2**RETRANSMIT_BACKOFF_CAP``).
+RETRANSMIT_BACKOFF_CAP = 6
+#: Maximum multiplicative jitter applied to a retransmit timeout (10%).
+RETRANSMIT_JITTER = 0.1
+#: Serialized size of a heartbeat ping/pong packet.
+HEARTBEAT_BYTES = 8
+
+
+def retransmit_jitter_fraction(seq: int, attempts: int) -> float:
+    """Deterministic pseudo-jitter in ``[0, 1)`` for one (packet, attempt).
+
+    Retransmission timers need jitter so synchronized losses do not
+    re-collide, but drawing from an RNG would make timer ordering depend
+    on unrelated draws.  A Knuth-style integer hash of the hop sequence
+    number and attempt count is platform-stable and fully reproducible.
+    """
+    mixed = (seq * 2654435761 + attempts * 40503 + 12345) & 0xFFFFFFFF
+    return (mixed % 10007) / 10007.0
 
 
 # ---------------------------------------------------------------------------
@@ -138,6 +158,61 @@ class AckPacket:
 
     def size_bytes(self) -> int:
         return ACK_BYTES
+
+
+@dataclass
+class HeartbeatPing:
+    """Failure-detector probe sent to a sequencing node.
+
+    Heartbeats deliberately bypass the reliable link layer: a
+    retransmitted heartbeat would mask exactly the silence the detector
+    exists to observe.  A node that is up answers with a
+    :class:`HeartbeatPong`; a crashed node drops the ping on the floor.
+    """
+
+    seq: int
+
+    def size_bytes(self) -> int:
+        return HEARTBEAT_BYTES
+
+
+@dataclass
+class HeartbeatPong:
+    """A sequencing node's liveness reply to a :class:`HeartbeatPing`."""
+
+    seq: int
+    node_id: int
+
+    def size_bytes(self) -> int:
+        return HEARTBEAT_BYTES
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """A packet abandoned after exhausting its retransmission budget.
+
+    Surfaced as data (and via :attr:`OrderingFabric.on_link_failure`)
+    instead of aborting the whole simulation: a chaos run wants to keep
+    going and let the invariant checker attribute the consequences.
+    """
+
+    time: float
+    src: Any
+    dst: Any
+    packet: Any
+    attempts: int
+
+
+@dataclass(frozen=True)
+class FailoverRecord:
+    """One live relocation of a sequencing node to a standby machine."""
+
+    time: float
+    node_id: int
+    old_machine: int
+    new_machine: int
+    #: pending retransmission-buffer entries replayed at relocation time
+    replayed: int
 
 
 class _LinkState:
@@ -341,6 +416,14 @@ class SequencingNodeProcess(Process):
         if self.is_down:
             self.packets_dropped_while_down += 1
             return
+        if isinstance(payload, HeartbeatPing):
+            # Heartbeats bypass the reliable link layer in both directions
+            # (see HeartbeatPing): answer immediately on the reverse path.
+            reverse = self.fabric._channel(self, channel.src)
+            reverse.send(
+                HeartbeatPong(payload.seq, self.node_id), HEARTBEAT_BYTES
+            )
+            return
         for packet in self.fabric._link_receive(self, payload, channel):
             self.handle(packet)
 
@@ -465,6 +548,10 @@ class OrderingFabric:
         the fabric wires live hold-back occupancy gauges, a delivery
         latency histogram, and pull collectors for link/node/atom/event
         loop statistics (see :mod:`repro.obs.hooks`).
+    max_retransmits:
+        Per-packet retransmission budget before the packet is abandoned
+        and a :class:`LinkFailure` surfaced (default
+        :data:`MAX_RETRANSMITS`).
     """
 
     def __init__(
@@ -483,6 +570,7 @@ class OrderingFabric:
         service_time: float = 0.0,
         track_stability: bool = False,
         registry: Optional["MetricsRegistry"] = None,
+        max_retransmits: Optional[int] = None,
     ):
         import random as _random
 
@@ -561,6 +649,21 @@ class OrderingFabric:
         #: reliable-link layer accounting
         self.retransmissions = 0
         self.acks_sent = 0
+        #: per-packet retransmission budget before declaring link failure
+        self.max_retransmits = (
+            max_retransmits if max_retransmits is not None else MAX_RETRANSMITS
+        )
+        #: retransmissions attributed to why the previous copy vanished
+        #: ("loss" | "outage" | "peer_down" | "failover_replay")
+        self.retransmissions_by_cause: Dict[str, int] = {}
+        #: retransmission attempts per directed link (src name, dst name)
+        self.retransmits_by_link: Dict[Tuple[Any, Any], int] = {}
+        #: packets abandoned after exhausting the retransmit budget
+        self.link_failures: List[LinkFailure] = []
+        #: optional application callback invoked on every link failure
+        self.on_link_failure: Optional[Callable[[LinkFailure], None]] = None
+        #: live sequencing-node relocations (see relocate_node)
+        self.failovers: List[FailoverRecord] = []
         #: optional metrics registry (see repro.obs); instrumented lazily
         #: so fabrics without one never import the observability layer
         self.registry = registry
@@ -611,15 +714,51 @@ class OrderingFabric:
         channel.send(hop, hop.size_bytes())
         self._arm_retransmit(src, dst, hop, attempts=0)
 
+    def _retransmit_timeout(
+        self, src: Process, dst: Process, hop: HopPacket, attempts: int
+    ) -> float:
+        """Backed-off, jittered timeout before retransmitting ``hop``.
+
+        Exponential backoff (doubling per attempt, capped at
+        ``2**RETRANSMIT_BACKOFF_CAP`` times the base) keeps a dead or
+        partitioned peer from being hammered at a fixed rate, and the
+        deterministic per-packet jitter de-synchronizes retransmissions
+        that were dropped together (e.g. by one outage window).
+        """
+        base = self.retransmit_timeout
+        if base is None:
+            base = 4 * self._channel(src, dst).delay + 1.0
+        backoff = 2.0 ** min(attempts, RETRANSMIT_BACKOFF_CAP)
+        jitter = 1.0 + RETRANSMIT_JITTER * retransmit_jitter_fraction(
+            hop.seq, attempts
+        )
+        return base * backoff * jitter
+
     def _arm_retransmit(
         self, src: Process, dst: Process, hop: HopPacket, attempts: int
     ) -> None:
         link = self._link(src.name, dst.name)
-        timeout = self.retransmit_timeout
-        if timeout is None:
-            timeout = 4 * self._channel(src, dst).delay + 1.0
+        timeout = self._retransmit_timeout(src, dst, hop, attempts)
         handle = self.sim.schedule(timeout, self._retransmit, src, dst, hop, attempts)
         link.pending[hop.seq] = (handle, attempts, hop)
+
+    def _retransmit_cause(self, dst: Process, channel: Channel) -> str:
+        """Attribute a retransmission to why the previous copy vanished."""
+        if channel.is_down:
+            return "outage"
+        if getattr(dst, "is_down", False):
+            return "peer_down"
+        return "loss"
+
+    def _count_retransmission(
+        self, src: Process, dst: Process, cause: str
+    ) -> None:
+        self.retransmissions += 1
+        self.retransmissions_by_cause[cause] = (
+            self.retransmissions_by_cause.get(cause, 0) + 1
+        )
+        key = (src.name, dst.name)
+        self.retransmits_by_link[key] = self.retransmits_by_link.get(key, 0) + 1
 
     def _retransmit(
         self, src: Process, dst: Process, hop: HopPacket, attempts: int
@@ -627,12 +766,45 @@ class OrderingFabric:
         link = self._link(src.name, dst.name)
         if hop.seq not in link.pending:
             return
-        if attempts + 1 > MAX_RETRANSMITS:
-            raise SimulationError(f"packet {hop!r} exceeded retransmit budget")
-        self.retransmissions += 1
+        if attempts + 1 > self.max_retransmits:
+            self._give_up(src, dst, hop, attempts)
+            return
         channel = self._channel(src, dst)
+        self._count_retransmission(src, dst, self._retransmit_cause(dst, channel))
         channel.send(hop, hop.size_bytes())
         self._arm_retransmit(src, dst, hop, attempts + 1)
+
+    def _give_up(
+        self, src: Process, dst: Process, hop: HopPacket, attempts: int
+    ) -> None:
+        """Abandon a packet whose retransmit budget is exhausted.
+
+        The packet leaves the output retransmission buffer and a
+        :class:`LinkFailure` is recorded (and surfaced via
+        ``on_link_failure``) instead of raising: the simulation keeps
+        running so a chaos campaign can observe the consequences, and the
+        runtime invariant checker attributes any resulting delivery gap.
+        """
+        link = self._link(src.name, dst.name)
+        link.pending.pop(hop.seq, None)
+        failure = LinkFailure(
+            time=self.sim.now,
+            src=src.name,
+            dst=dst.name,
+            packet=hop.inner,
+            attempts=attempts,
+        )
+        self.link_failures.append(failure)
+        if self.trace.enabled:
+            self.trace.record(
+                self.sim.now,
+                "link_failure",
+                src=repr(src.name),
+                dst=repr(dst.name),
+                attempts=attempts,
+            )
+        if self.on_link_failure is not None:
+            self.on_link_failure(failure)
 
     def _link_receive(
         self, receiver: Process, payload: Any, channel: Channel
@@ -668,6 +840,104 @@ class OrderingFabric:
             released.append(link.holdback.pop(link.next_expected))
             link.next_expected += 1
         return released
+
+    # -- live failover -------------------------------------------------------
+
+    def relocate_node(
+        self,
+        node_id: int,
+        machine: int,
+        transfer_delay: float = 0.0,
+    ) -> FailoverRecord:
+        """Move a sequencing node's atoms to a standby ``machine``, live.
+
+        This is the fail-over primitive: unlike
+        :func:`repro.core.reconfigure.reconfigure` it does **not** require
+        a quiescent fabric.  The relocation models a standby adopting the
+        node's replicated durable state (Section 3.1's counters and
+        buffers):
+
+        * every atom runtime (overlap counters, group-local counters,
+          forwarding tables) moves wholesale — sequence spaces continue;
+        * reliable-link state is keyed by the node's *name*, which is
+          preserved, so output retransmission buffers, input hold-back
+          buffers, and hop sequence numbers all survive the move —
+          receivers keep deduplicating replayed packets exactly as before;
+        * channels touching the node are retired and lazily re-created
+          with delays for the new machine, re-routing every path through
+          the node;
+        * pending entries in retransmission buffers to/from the node are
+          replayed immediately (with a fresh attempt budget for the new
+          incarnation) instead of waiting out their backed-off timers.
+
+        ``transfer_delay`` keeps the new incarnation unavailable for that
+        many milliseconds (state-transfer cost); packets arriving during
+        the hand-off are dropped and recovered by retransmission.
+        """
+        if not self.reliable:
+            raise SimulationError(
+                "failover needs the reliable link layer; construct the "
+                "fabric with loss_rate > 0 or an explicit retransmit_timeout"
+            )
+        if transfer_delay < 0:
+            raise ValueError(
+                f"transfer_delay must be >= 0, got {transfer_delay}"
+            )
+        process = self.node_processes[node_id]
+        old_machine = process.machine
+        self.network.retire_channels(process.name)
+        process.machine = machine
+        for node in self.placement.nodes:
+            if node.node_id == node_id:
+                node.machine = machine
+        # The new incarnation goes live after the state-transfer window —
+        # this also clears any crash window (including a permanent one).
+        process._crashed_until = self.sim.now + transfer_delay
+        replayed = self._replay_pending(process.name)
+        record = FailoverRecord(
+            time=self.sim.now,
+            node_id=node_id,
+            old_machine=old_machine,
+            new_machine=machine,
+            replayed=replayed,
+        )
+        self.failovers.append(record)
+        if self.trace.enabled:
+            self.trace.record(
+                self.sim.now,
+                "failover",
+                node=node_id,
+                old_machine=old_machine,
+                new_machine=machine,
+                replayed=replayed,
+            )
+        return record
+
+    def _replay_pending(self, name: Any) -> int:
+        """Replay retransmission-buffer entries touching process ``name``.
+
+        Called at failover time: upstream senders' pending packets toward
+        the moved node, and the moved node's own unacknowledged output,
+        are re-sent immediately over the re-routed channels.  Attempt
+        counters restart — the budget is per incarnation.
+        """
+        replayed = 0
+        for (src_name, dst_name), link in self._links.items():
+            if name != src_name and name != dst_name:
+                continue
+            if not link.pending:
+                continue
+            src = self.network.process(src_name)
+            dst = self.network.process(dst_name)
+            channel = self._channel(src, dst)
+            for seq in sorted(link.pending):
+                handle, _attempts, hop = link.pending[seq]
+                handle.cancel()
+                self._count_retransmission(src, dst, "failover_replay")
+                channel.send(hop, hop.size_bytes())
+                self._arm_retransmit(src, dst, hop, attempts=0)
+                replayed += 1
+        return replayed
 
     # -- protocol phases ---------------------------------------------------
 

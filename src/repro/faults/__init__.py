@@ -1,0 +1,48 @@
+"""Fault injection, failure detection, and live failover.
+
+The robustness layer of the reproduction (``docs/FAULTS.md``):
+
+* :mod:`repro.faults.plan` — a deterministic fault-plan DSL (timed
+  crashes, outages, partitions, delay spikes, loss windows) plus a
+  seeded random-plan generator for chaos campaigns.
+* :mod:`repro.faults.detector` — a heartbeat failure detector process
+  that suspects silent sequencing nodes.
+* :mod:`repro.faults.failover` — standby selection and the glue turning
+  a suspicion into a live :meth:`~repro.core.protocol.OrderingFabric.
+  relocate_node` call.
+* :mod:`repro.faults.campaign` — seeded end-to-end chaos campaigns,
+  audited by :func:`repro.check.verify_run` (``repro chaos`` CLI).
+"""
+
+from repro.faults.campaign import ChaosConfig, run_campaign
+from repro.faults.detector import HeartbeatDetector
+from repro.faults.failover import choose_standby, fail_over, wire_failover
+from repro.faults.plan import (
+    CrashHost,
+    CrashNode,
+    DelaySpike,
+    FaultAction,
+    FaultPlan,
+    LinkOutage,
+    LossWindow,
+    Partition,
+    random_plan,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "CrashHost",
+    "CrashNode",
+    "DelaySpike",
+    "FaultAction",
+    "FaultPlan",
+    "HeartbeatDetector",
+    "LinkOutage",
+    "LossWindow",
+    "Partition",
+    "choose_standby",
+    "fail_over",
+    "random_plan",
+    "run_campaign",
+    "wire_failover",
+]

@@ -1,0 +1,181 @@
+"""Heartbeat failure detection for sequencing nodes.
+
+A :class:`HeartbeatDetector` is a simulated process that pings every
+sequencing node each ``interval`` milliseconds and suspects a node once
+its silence exceeds a threshold derived from the ping interval, the
+suspicion patience (``suspect_after`` missed intervals), and the
+round-trip time to the node.  Heartbeats deliberately bypass the
+reliable link layer in both directions (see
+:class:`repro.core.protocol.HeartbeatPing`): a retransmitted heartbeat
+would mask exactly the silence the detector exists to observe.  Because
+heartbeat channels share the network's loss model, a single lost ping
+or pong never triggers suspicion — only ``suspect_after`` consecutive
+silent intervals do, which bounds the false-positive rate under loss at
+``loss_rate ** suspect_after`` per node per interval.
+
+On suspicion the detector records the event, bumps its metrics, and
+invokes ``on_suspect(node_id, silence_ms)`` — which the chaos harness
+wires to :func:`repro.faults.failover.fail_over`.  After a failover,
+call :meth:`HeartbeatDetector.clear` so the relocated incarnation gets
+a fresh grace period instead of being re-suspected immediately.
+"""
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.protocol import HEARTBEAT_BYTES, HeartbeatPing, HeartbeatPong
+from repro.sim.network import Channel
+from repro.sim.processes import Process
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.protocol import OrderingFabric
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = ["HeartbeatDetector"]
+
+#: Fixed slack added to every suspicion threshold, absorbing scheduling
+#: ties and the one-way skew between ping send and pong arrival.
+THRESHOLD_MARGIN_MS = 1.0
+
+
+class HeartbeatDetector(Process):
+    """Pings sequencing nodes; suspects the ones that fall silent.
+
+    Parameters
+    ----------
+    fabric:
+        The fabric whose sequencing nodes are monitored.  The detector
+        registers itself as a process on the fabric's network.
+    interval:
+        Milliseconds between ping rounds.
+    suspect_after:
+        Missed intervals tolerated before suspicion.  The full threshold
+        for a node is ``suspect_after * interval + round_trip + margin``,
+        so slow links do not masquerade as failures.
+    machine:
+        Router the detector runs on (defaults to the first host's access
+        router — a monitoring box at the edge of the network).
+    registry:
+        Optional metrics registry; when given the detector exports
+        ``repro_detector_heartbeats``, ``repro_detector_pongs`` and
+        ``repro_detector_suspicions`` counters.
+    """
+
+    def __init__(
+        self,
+        fabric: "OrderingFabric",
+        interval: float = 5.0,
+        suspect_after: int = 3,
+        machine: Optional[int] = None,
+        registry: Optional["MetricsRegistry"] = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if suspect_after < 1:
+            raise ValueError(f"suspect_after must be >= 1, got {suspect_after}")
+        super().__init__(fabric.sim, ("detector", 0))
+        self.fabric = fabric
+        self.interval = interval
+        self.suspect_after = suspect_after
+        #: router hosting the detector (read by the fabric's delay oracle)
+        self.machine = machine if machine is not None else fabric.hosts[0].router
+        fabric.network.add_process(self)
+        #: last instant each node proved liveness (pong arrival or clear)
+        self.last_seen: Dict[int, float] = {}
+        self._suspected: Set[int] = set()
+        #: (time, node_id, silence_ms) per suspicion, in suspicion order
+        self.suspicions: List[Tuple[float, int, float]] = []
+        #: invoked once per suspicion with (node_id, silence_ms)
+        self.on_suspect: Optional[Callable[[int, float], None]] = None
+        self.heartbeats_sent = 0
+        self.pongs_received = 0
+        self._next_ping_seq = 0
+        self._tick_handle: Optional[Any] = None
+        self._heartbeat_counter = None
+        self._pong_counter = None
+        self._suspicion_counter = None
+        if registry is not None:
+            self._heartbeat_counter = registry.counter(
+                "repro_detector_heartbeats", "heartbeat pings sent"
+            )
+            self._pong_counter = registry.counter(
+                "repro_detector_pongs", "heartbeat pongs received"
+            )
+            self._suspicion_counter = registry.counter(
+                "repro_detector_suspicions", "sequencing nodes suspected"
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin pinging; every node gets a full grace period from now."""
+        if self._tick_handle is not None:
+            raise RuntimeError("detector already started")
+        for node_id in sorted(self.fabric.node_processes):
+            self.last_seen[node_id] = self.sim.now
+        self._tick()
+
+    def stop(self) -> None:
+        """Cancel the ping loop (e.g. before draining a finished run)."""
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the ping loop is currently scheduled."""
+        return self._tick_handle is not None
+
+    def clear(self, node_id: int) -> None:
+        """Forget a suspicion after failover; restart the grace period."""
+        self.last_seen[node_id] = self.sim.now
+        self._suspected.discard(node_id)
+
+    # -- detection ---------------------------------------------------------
+
+    def threshold(self, node_id: int) -> float:
+        """Silence tolerated for ``node_id`` before suspicion (ms)."""
+        process = self.fabric.node_processes[node_id]
+        round_trip = 2.0 * self.fabric._channel(self, process).delay
+        return self.suspect_after * self.interval + round_trip + THRESHOLD_MARGIN_MS
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        for node_id in sorted(self.fabric.node_processes):
+            if node_id in self._suspected:
+                continue
+            silence = now - self.last_seen[node_id]
+            if silence > self.threshold(node_id):
+                self._suspect(node_id, silence)
+        for node_id in sorted(self.fabric.node_processes):
+            if node_id in self._suspected:
+                continue
+            process = self.fabric.node_processes[node_id]
+            channel = self.fabric._channel(self, process)
+            channel.send(HeartbeatPing(self._next_ping_seq), HEARTBEAT_BYTES)
+            self._next_ping_seq += 1
+            self.heartbeats_sent += 1
+            if self._heartbeat_counter is not None:
+                self._heartbeat_counter.inc()
+        self._tick_handle = self.sim.schedule(self.interval, self._tick)
+
+    def _suspect(self, node_id: int, silence: float) -> None:
+        self._suspected.add(node_id)
+        self.suspicions.append((self.sim.now, node_id, silence))
+        if self._suspicion_counter is not None:
+            self._suspicion_counter.inc()
+        if self.fabric.trace.enabled:
+            self.fabric.trace.record(
+                self.sim.now, "suspect", node=node_id, silence=silence
+            )
+        if self.on_suspect is not None:
+            self.on_suspect(node_id, silence)
+
+    def receive(self, payload: Any, channel: Channel) -> None:
+        if not isinstance(payload, HeartbeatPong):
+            raise TypeError(f"detector got unexpected packet {payload!r}")
+        self.pongs_received += 1
+        if self._pong_counter is not None:
+            self._pong_counter.inc()
+        previous = self.last_seen.get(payload.node_id, 0.0)
+        if self.sim.now > previous:
+            self.last_seen[payload.node_id] = self.sim.now

@@ -104,8 +104,17 @@ def _fabric_collector(fabric: "OrderingFabric"):
                 "repro_link_sends", "packet transmissions per link", **labels
             ).set_total(channel.sends)
             registry.counter(
-                "repro_link_drops", "packets lost to loss/outage per link", **labels
-            ).set_total(channel.drops)
+                "repro_link_drops",
+                "packets dropped per link, by cause",
+                cause="loss",
+                **labels,
+            ).set_total(channel.loss_drops)
+            registry.counter(
+                "repro_link_drops",
+                "packets dropped per link, by cause",
+                cause="outage",
+                **labels,
+            ).set_total(channel.outage_drops)
             registry.gauge(
                 "repro_link_in_flight_high_water",
                 "peak packets concurrently on the wire",
@@ -151,9 +160,29 @@ def _fabric_collector(fabric: "OrderingFabric"):
         registry.counter(
             "repro_retransmissions", "reliable-link retransmissions"
         ).set_total(fabric.retransmissions)
+        for cause in sorted(fabric.retransmissions_by_cause):
+            registry.counter(
+                "repro_retransmissions_by_cause",
+                "retransmissions attributed to why the copy vanished",
+                cause=cause,
+            ).set_total(fabric.retransmissions_by_cause[cause])
+        for (src, dst) in sorted(fabric.retransmits_by_link, key=repr):
+            registry.counter(
+                "repro_link_retransmits",
+                "retransmission attempts per directed link",
+                src=_process_label(src),
+                dst=_process_label(dst),
+            ).set_total(fabric.retransmits_by_link[(src, dst)])
         registry.counter(
             "repro_acks_sent", "reliable-link acknowledgments sent"
         ).set_total(fabric.acks_sent)
+        registry.counter(
+            "repro_link_failures",
+            "packets abandoned after exhausting the retransmit budget",
+        ).set_total(len(fabric.link_failures))
+        registry.counter(
+            "repro_failovers", "live sequencing-node relocations"
+        ).set_total(len(fabric.failovers))
         _collect_simulator(fabric.sim, registry)
 
     return collect

@@ -10,10 +10,17 @@ Channels model the paper's inter-node communication assumptions:
   delays."  Loss is therefore off by default, but can be enabled
   (``loss_rate > 0``) to exercise the ack/retransmission machinery that
   Section 3.1 specifies.
+
+Fault injection (see :mod:`repro.faults`) extends the model with *link
+outages* (a window during which every send on a channel is dropped) and
+*partitions* (a cut between two sets of processes; channels created while
+the cut is active inherit the remaining outage window).  Drops are
+attributed to their cause — random loss vs. outage — so chaos reports can
+explain where packets went.
 """
 
 import random
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.sim.events import Simulator
 from repro.sim.processes import Process
@@ -60,12 +67,20 @@ class Channel:
         self._last_delivery_time = 0.0
         self._down_until = 0.0
         self.sends = 0
-        self.drops = 0
+        #: packets dropped by Bernoulli loss injection
+        self.loss_drops = 0
+        #: packets dropped because the link was in an outage window
+        self.outage_drops = 0
         self.bytes_sent = 0
         self.receives = 0
         #: packets currently propagating (scheduled but not yet delivered)
         self.in_flight = 0
         self.in_flight_high_water = 0
+
+    @property
+    def drops(self) -> int:
+        """Total packets dropped, whatever the cause."""
+        return self.loss_drops + self.outage_drops
 
     def fail(self, duration: float) -> None:
         """Take the link down for ``duration`` time units.
@@ -94,12 +109,12 @@ class Channel:
         self.src.messages_sent += 1
         self.bytes_sent += size_bytes
         if self.is_down:
-            self.drops += 1
+            self.outage_drops += 1
             return False
         if self.loss_rate > 0:
             assert self._rng is not None  # enforced by the constructor
             if self._rng.random() < self.loss_rate:
-                self.drops += 1
+                self.loss_drops += 1
                 return False
         # Enforce FIFO: never deliver before a previously sent packet.
         arrival = max(self.sim.now + self.delay, self._last_delivery_time)
@@ -131,6 +146,15 @@ class Network:
     path delays between the machines hosting the two processes.
     """
 
+    #: channel counters carried over when channels are retired (failover)
+    _CARRIED_STATS = (
+        "sends",
+        "loss_drops",
+        "outage_drops",
+        "bytes_sent",
+        "receives",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -142,6 +166,12 @@ class Network:
         self.rng = rng
         self._processes: Dict[Any, Process] = {}
         self._channels: Dict[Tuple[Any, Any], Channel] = {}
+        #: active partition cuts: (heal time, side A, side B or None=rest)
+        self._cuts: List[Tuple[float, FrozenSet[Any], Optional[FrozenSet[Any]]]] = []
+        #: counters accumulated from channels retired by failover, so the
+        #: network-wide totals stay monotonic across node relocations
+        self._retired_totals: Dict[str, int] = {k: 0 for k in self._CARRIED_STATS}
+        self.channels_retired = 0
 
     def add_process(self, process: Process) -> Process:
         """Register a process; names must be unique."""
@@ -162,6 +192,8 @@ class Network:
 
         A repeated connect with a different delay is an error: links in a
         run are immutable, matching the static-topology evaluation model.
+        (Failover relocations first *retire* a process's channels, so the
+        re-created channels may legitimately carry a new delay.)
         """
         key = (src_name, dst_name)
         existing = self._channels.get(key)
@@ -181,6 +213,14 @@ class Network:
             rng=self.rng,
         )
         self._channels[key] = channel
+        # A channel created while a partition cut is active inherits the
+        # remaining outage window, so retransmissions cannot tunnel
+        # through the cut on a freshly created channel.
+        for heal_time, side_a, side_b in self._active_cuts():
+            if _crosses_cut(src_name, dst_name, side_a, side_b):
+                remaining = heal_time - self.sim.now
+                if remaining > 0:
+                    channel.fail(remaining)
         return channel
 
     def channel(self, src_name: Any, dst_name: Any) -> Channel:
@@ -192,18 +232,106 @@ class Network:
         """Read-only view of all channels (for metrics)."""
         return dict(self._channels)
 
+    # -- fault injection ---------------------------------------------------
+
+    def _active_cuts(
+        self,
+    ) -> List[Tuple[float, FrozenSet[Any], Optional[FrozenSet[Any]]]]:
+        self._cuts = [cut for cut in self._cuts if cut[0] > self.sim.now]
+        return self._cuts
+
+    def partition(
+        self,
+        side: FrozenSet[Any],
+        duration: float,
+        side_b: Optional[FrozenSet[Any]] = None,
+    ) -> int:
+        """Cut ``side`` off from ``side_b`` (default: everything else).
+
+        Every existing channel crossing the cut (in either direction) goes
+        into an outage window for ``duration``; channels created while the
+        cut is active inherit the remaining window (see :meth:`connect`).
+        Returns the number of channels failed immediately.
+        """
+        if duration <= 0:
+            raise ValueError(f"partition duration must be positive, got {duration}")
+        side = frozenset(side)
+        other = frozenset(side_b) if side_b is not None else None
+        self._cuts.append((self.sim.now + duration, side, other))
+        failed = 0
+        for (src_name, dst_name), channel in self._channels.items():
+            if _crosses_cut(src_name, dst_name, side, other):
+                channel.fail(duration)
+                failed += 1
+        return failed
+
+    def retire_channels(self, name: Any) -> int:
+        """Remove every channel touching process ``name`` (failover).
+
+        The channels' counters are folded into the network-wide retired
+        totals so ``total_*`` aggregates remain monotonic.  In-flight
+        packets already scheduled on a retired channel still deliver (they
+        were on the wire); new traffic creates fresh channels — typically
+        with a new delay, because the process moved machines.
+        """
+        retired = [
+            key for key in self._channels if key[0] == name or key[1] == name
+        ]
+        for key in retired:
+            channel = self._channels.pop(key)
+            for stat in self._CARRIED_STATS:
+                self._retired_totals[stat] += getattr(channel, stat)
+        self.channels_retired += len(retired)
+        return len(retired)
+
+    # -- aggregates --------------------------------------------------------
+
     def total_bytes_sent(self) -> int:
-        """Aggregate wire bytes across all channels."""
-        return sum(c.bytes_sent for c in self._channels.values())
+        """Aggregate wire bytes across all channels (including retired)."""
+        return (
+            sum(c.bytes_sent for c in self._channels.values())
+            + self._retired_totals["bytes_sent"]
+        )
 
     def total_sends(self) -> int:
         """Aggregate packet transmissions across all channels."""
-        return sum(c.sends for c in self._channels.values())
+        return (
+            sum(c.sends for c in self._channels.values())
+            + self._retired_totals["sends"]
+        )
 
     def total_drops(self) -> int:
         """Aggregate packets lost to loss injection or outages."""
-        return sum(c.drops for c in self._channels.values())
+        return self.total_loss_drops() + self.total_outage_drops()
+
+    def total_loss_drops(self) -> int:
+        """Aggregate packets lost to Bernoulli loss injection."""
+        return (
+            sum(c.loss_drops for c in self._channels.values())
+            + self._retired_totals["loss_drops"]
+        )
+
+    def total_outage_drops(self) -> int:
+        """Aggregate packets lost to link outages / partitions."""
+        return (
+            sum(c.outage_drops for c in self._channels.values())
+            + self._retired_totals["outage_drops"]
+        )
 
     def total_in_flight(self) -> int:
         """Packets currently propagating across all channels."""
         return sum(c.in_flight for c in self._channels.values())
+
+
+def _crosses_cut(
+    src_name: Any,
+    dst_name: Any,
+    side: FrozenSet[Any],
+    side_b: Optional[FrozenSet[Any]],
+) -> bool:
+    """Whether the directed channel ``src -> dst`` crosses the cut."""
+    if side_b is None:
+        return (src_name in side) != (dst_name in side)
+    return (src_name in side and dst_name in side_b) or (
+        src_name in side_b and dst_name in side
+    )

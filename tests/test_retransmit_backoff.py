@@ -1,0 +1,159 @@
+"""Retransmission backoff, jitter, per-link attribution, link failure.
+
+The reliable link layer now backs off exponentially (capped), jitters
+deterministically, attributes every retransmission to a cause and a
+link, and surfaces budget exhaustion as a :class:`LinkFailure` instead
+of aborting the simulation.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.protocol import (
+    RETRANSMIT_BACKOFF_CAP,
+    RETRANSMIT_JITTER,
+    LinkFailure,
+    retransmit_jitter_fraction,
+)
+from repro.pubsub.membership import GroupMembership
+
+
+def triangle_membership():
+    membership = GroupMembership()
+    membership.create_group([0, 1, 3], group_id=0)
+    membership.create_group([0, 1, 2], group_id=1)
+    membership.create_group([1, 2, 3], group_id=2)
+    return membership
+
+
+def reliable_fabric(env, **kwargs):
+    return env.build_fabric(
+        triangle_membership(), retransmit_timeout=5.0, **kwargs
+    )
+
+
+def busiest_node(fabric):
+    return max(
+        fabric.node_processes.values(), key=lambda p: len(p.atom_runtimes)
+    )
+
+
+def test_jitter_fraction_deterministic_and_bounded():
+    for seq in range(50):
+        for attempts in range(10):
+            value = retransmit_jitter_fraction(seq, attempts)
+            assert value == retransmit_jitter_fraction(seq, attempts)
+            assert 0.0 <= value < 1.0
+    # Different packets / attempts actually spread out.
+    values = {retransmit_jitter_fraction(seq, 0) for seq in range(100)}
+    assert len(values) > 50
+
+
+def test_timeout_doubles_then_caps(env32):
+    fabric = reliable_fabric(env32)
+    src = fabric.host_processes[0]
+    dst = busiest_node(fabric)
+
+    class FakeHop:
+        seq = 17
+
+    hop = FakeHop()
+    timeouts = [
+        fabric._retransmit_timeout(src, dst, hop, attempts)
+        for attempts in range(RETRANSMIT_BACKOFF_CAP + 4)
+    ]
+    # Strip the (bounded, deterministic) jitter to observe pure backoff.
+    bare = [
+        t / (1.0 + RETRANSMIT_JITTER * retransmit_jitter_fraction(hop.seq, a))
+        for a, t in enumerate(timeouts)
+    ]
+    for attempts in range(1, RETRANSMIT_BACKOFF_CAP + 1):
+        assert math.isclose(bare[attempts] / bare[attempts - 1], 2.0)
+    # Past the cap the bare timeout stays flat.
+    assert math.isclose(bare[RETRANSMIT_BACKOFF_CAP + 1], bare[RETRANSMIT_BACKOFF_CAP])
+    assert math.isclose(bare[RETRANSMIT_BACKOFF_CAP + 3], bare[RETRANSMIT_BACKOFF_CAP])
+    # Jitter never exceeds its advertised bound.
+    for attempts, timeout in enumerate(timeouts):
+        assert timeout >= bare[attempts]
+        assert timeout <= bare[attempts] * (1.0 + RETRANSMIT_JITTER)
+
+
+def test_retransmissions_attributed_to_loss(env32):
+    fabric = env32.build_fabric(triangle_membership(), loss_rate=0.2, seed=5)
+    rng = random.Random(3)
+    for _ in range(20):
+        group = rng.choice([0, 1, 2])
+        sender = rng.choice(sorted(fabric.membership.members(group)))
+        fabric.publish(sender, group)
+    fabric.run()
+    assert fabric.pending_messages() == {}
+    assert fabric.retransmissions > 0
+    assert fabric.retransmissions == sum(fabric.retransmissions_by_cause.values())
+    assert fabric.retransmissions == sum(fabric.retransmits_by_link.values())
+    assert set(fabric.retransmissions_by_cause) == {"loss"}
+    # Per-link attribution uses process names on both ends.
+    for (src, dst), count in fabric.retransmits_by_link.items():
+        assert count > 0
+        assert isinstance(src, tuple) and isinstance(dst, tuple)
+
+
+def test_retransmissions_attributed_to_peer_down(env32):
+    fabric = reliable_fabric(env32)
+    node = busiest_node(fabric)
+    fabric.sim.schedule(0.5, node.crash, 30.0)
+    for i in range(5):
+        fabric.publish(0, 0, i)
+    fabric.run()
+    assert fabric.retransmissions_by_cause.get("peer_down", 0) > 0
+    assert fabric.pending_messages() == {}
+
+
+def test_budget_exhaustion_surfaces_link_failure(env32):
+    fabric = reliable_fabric(env32, max_retransmits=2)
+    assert fabric.max_retransmits == 2
+    node = busiest_node(fabric)
+    seen = []
+    fabric.on_link_failure = seen.append
+    # Crash the node forever: every packet toward it exhausts its budget.
+    fabric.sim.schedule(0.1, node.crash, float("inf"))
+    for i in range(4):
+        fabric.publish(0, 0, i)
+    fabric.run()  # must NOT raise SimulationError
+    assert fabric.link_failures
+    assert seen == fabric.link_failures
+    for failure in fabric.link_failures:
+        assert isinstance(failure, LinkFailure)
+        assert failure.dst == node.name
+        assert failure.attempts == 2
+    # Abandoned packets left the output retransmission buffers.
+    for (src, dst), link in fabric._links.items():
+        if dst == node.name:
+            assert link.pending == {}
+
+
+def test_abandoned_traffic_visible_to_checker(env32):
+    from repro.check import verify_run
+
+    fabric = reliable_fabric(env32, max_retransmits=1)
+    node = busiest_node(fabric)
+    fabric.sim.schedule(0.1, node.crash, float("inf"))
+    fabric.publish(0, 0, "doomed")
+    fabric.run()
+    findings = verify_run(fabric, complete=True, causal=False)
+    assert any(f.code == "RT302" for f in findings)
+    # With completeness waived (abandonment was explicit), the run is clean.
+    assert verify_run(fabric, complete=False, causal=False) == []
+
+
+def test_give_up_budget_respected(env32):
+    fabric = reliable_fabric(env32, max_retransmits=3)
+    node = busiest_node(fabric)
+    fabric.sim.schedule(0.1, node.crash, float("inf"))
+    fabric.publish(0, 0, "x")
+    fabric.run()
+    # No packet was retransmitted more than the budget allows.
+    assert all(f.attempts <= 3 for f in fabric.link_failures)
+    with pytest.raises(ValueError):
+        fabric.relocate_node(node.node_id, 0, transfer_delay=-1.0)
