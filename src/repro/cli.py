@@ -18,6 +18,13 @@ Subcommands::
     repro check --certificate g.json # audit an exported graph certificate
     repro chaos --runs 3 --seed 0    # seeded fault-injection campaigns with
                                      # failover; nonzero exit on violation
+    repro explain --stalls           # ordering forensics on a fixed-seed
+                                     # chaos run (or --trace run.jsonl):
+                                     # per-message journeys, blocking
+                                     # (atom, seq) pairs, stall causes
+    repro explain --message 12 --dot waits.dot
+                                     # one message's journey + the
+                                     # who-waited-on-whom graph
 
 Also runnable as ``python -m repro.cli``.
 """
@@ -175,6 +182,97 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     else:
         print(rendered)
     return 0 if failed == 0 else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.forensics import (
+        JourneyIndex,
+        render_journey,
+        render_stalls,
+        waits_to_dot,
+    )
+
+    if args.trace:
+        from repro.obs.exporters import read_trace_jsonl
+
+        index = JourneyIndex(read_trace_jsonl(args.trace))
+        source = f"trace {args.trace}"
+    else:
+        from repro.faults.campaign import ChaosConfig, execute_campaign
+
+        config = ChaosConfig(
+            hosts=args.hosts,
+            groups=args.groups,
+            events=args.events,
+            seed=args.seed,
+            horizon=args.horizon,
+        )
+        run = execute_campaign(config)
+        index = JourneyIndex(run.fabric.trace)
+        source = f"chaos run (seed {args.seed})"
+
+    sections: List[str] = []
+    payload: dict = {"source": source}
+    status = 0
+    if args.message is not None:
+        journey = index.journey(args.message)
+        if journey is None:
+            print(f"message {args.message} not in {source}", file=sys.stderr)
+            return 1
+        sections.append(render_journey(journey))
+        payload["journey"] = journey.to_dict()
+    if args.receiver is not None:
+        history = index.holdback_history(args.receiver)
+        events = [
+            e for e in index.buffer_events if e.host == args.receiver
+        ]
+        lines = [
+            f"host {args.receiver}: {len(events)} buffer event(s), "
+            f"peak hold-back depth "
+            f"{max((d for _, d in history), default=0)}"
+        ]
+        for event in events:
+            drained = (
+                f"drained t={event.drain_time:.3f} after {event.waited:.3f} ms"
+                if event.resolved
+                else "NEVER drained"
+            )
+            lines.append(
+                f"  t={event.time:.3f} message {event.msg_id} blocked on "
+                f"{event.blocked_on} seq {event.expected_seq}; {drained} "
+                f"[{event.cause}]"
+            )
+        for time, depth in history:
+            lines.append(f"  t={time:.3f} depth={depth}")
+        sections.append("\n".join(lines))
+        payload["receiver"] = {
+            "host": args.receiver,
+            "buffer_events": [e.to_dict() for e in events],
+            "holdback_history": [
+                {"time": time, "depth": depth} for time, depth in history
+            ],
+        }
+    if args.stalls or (args.message is None and args.receiver is None):
+        report = index.stall_report(threshold=args.threshold)
+        sections.append(render_stalls(report))
+        payload["stalls"] = report
+    payload["waits"] = index.waits_to_json()
+
+    if args.format == "json":
+        rendered = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        rendered = "\n\n".join(sections)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"forensics written to {args.out}")
+    else:
+        print(rendered)
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(waits_to_dot(index))
+        print(f"wait-graph DOT written to {args.dot}")
+    return status
 
 
 def _cmd_workload(args: argparse.Namespace) -> int:
@@ -364,6 +462,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--out", default=None, help="write the report here")
     chaos.set_defaults(func=_cmd_chaos)
+
+    explain = sub.add_parser(
+        "explain",
+        help="ordering forensics: message journeys, blocking pairs, stall causes",
+    )
+    explain.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="analyze this trace JSONL instead of running a chaos campaign",
+    )
+    explain.add_argument("--hosts", type=int, default=16)
+    explain.add_argument("--groups", type=int, default=6)
+    explain.add_argument("--events", type=int, default=40)
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument(
+        "--horizon", type=float, default=250.0,
+        help="traffic/fault window in virtual ms (inline chaos run)",
+    )
+    explain.add_argument(
+        "--message", type=int, default=None,
+        help="reconstruct this message's end-to-end journey",
+    )
+    explain.add_argument(
+        "--receiver", type=int, default=None,
+        help="this host's hold-back history and buffer events",
+    )
+    explain.add_argument(
+        "--stalls", action="store_true",
+        help="stall report (the default when no other query is given)",
+    )
+    explain.add_argument(
+        "--threshold", type=float, default=0.0,
+        help="minimum hold-back wait (ms) for the stall report",
+    )
+    explain.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    explain.add_argument("--out", default=None, help="write the report here")
+    explain.add_argument(
+        "--dot", default=None, help="write the who-waited-on-whom DOT graph here"
+    )
+    explain.set_defaults(func=_cmd_explain)
 
     workload = sub.add_parser("workload", help="record/replay workload traces")
     workload.add_argument("action", choices=("record", "replay"))

@@ -14,11 +14,42 @@ and that all members of a group deliver in the same order.
 
 Deliverability doubles as the paper's commit signal: a deliverable message
 is known to have no delayed predecessors.
+
+Beyond the yes/no decision, the state can *explain* it:
+:meth:`DeliveryState.blocking_of` names the exact sequence-space gap —
+``(atom_id, expected_seq)`` or the group-local counter — that forces a
+buffer, and the ``on_buffer``/``on_drain`` observers surface every
+buffering and every buffer release (with the arrival that triggered it)
+to the forensics layer (:mod:`repro.obs.forensics`).
 """
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from repro.core.messages import AtomId, Stamp
+
+
+class Blocking(NamedTuple):
+    """The first unmet constraint forcing a message into the buffer.
+
+    Attributes
+    ----------
+    kind:
+        ``"group"`` when the group-local sequence number is ahead of the
+        receiver's counter, ``"atom"`` when a relevant atom's number is.
+    key:
+        Stable string key of the blocked sequence space: ``"group:<g>"``
+        or the atom's ``repr`` (e.g. ``"Q(0,1)"``).
+    have:
+        The sequence number the buffered message carries in that space.
+    expected:
+        The number the receiver is still waiting for — the missing
+        predecessor's number, i.e. the gap itself.
+    """
+
+    kind: str
+    key: str
+    have: int
+    expected: int
 
 
 class DeliveryState:
@@ -52,6 +83,16 @@ class DeliveryState:
         #: size change — lets :mod:`repro.obs` keep live occupancy gauges
         #: without polling (None = no overhead beyond one attribute check)
         self.on_occupancy: Optional[Callable[[int], None]] = None
+        #: optional observer called when an arrival is buffered, with the
+        #: arrival's stamp, its payload, and the :class:`Blocking` gap
+        self.on_buffer: Optional[Callable[[Stamp, object, Blocking], None]] = None
+        #: optional observer called for every message *released from the
+        #: buffer* (not the immediately-delivered arrival), with the
+        #: released stamp/payload and the stamp/payload of the arrival
+        #: whose processing triggered the drain cascade
+        self.on_drain: Optional[
+            Callable[[Stamp, object, Stamp, object], None]
+        ] = None
 
     def resume_from(
         self,
@@ -105,6 +146,31 @@ class DeliveryState:
             for atom_id, seq in self._relevant_entries(stamp)
         )
 
+    def blocking_of(self, stamp: Stamp) -> Optional[Blocking]:
+        """Name the first gap blocking ``stamp``; ``None`` if deliverable.
+
+        Constraints are checked in the same order as :meth:`deliverable`
+        (group-local counter first, then relevant atoms in stamp/path
+        order), so the returned gap is the one the decision tripped on.
+        Several constraints may be unmet at once; re-query after each
+        arrival to watch the blocking front move.
+        """
+        if stamp.group not in self._expected_group:
+            raise KeyError(
+                f"host {self.host_id} received message for unsubscribed "
+                f"group {stamp.group}"
+            )
+        expected = self._expected_group[stamp.group]
+        if stamp.group_seq != expected:
+            return Blocking(
+                "group", f"group:{stamp.group}", stamp.group_seq, expected
+            )
+        for atom_id, seq in self._relevant_entries(stamp):
+            expected = self._expected_atom[atom_id]
+            if seq != expected:
+                return Blocking("atom", repr(atom_id), seq, expected)
+        return None
+
     def _consume(self, stamp: Stamp) -> None:
         self._expected_group[stamp.group] += 1
         for atom_id, _ in self._relevant_entries(stamp):
@@ -123,15 +189,21 @@ class DeliveryState:
         if self.deliverable(stamp):
             self._consume(stamp)
             delivered.append((stamp, payload))
-            delivered.extend(self._drain_buffer())
+            delivered.extend(self._drain_buffer(stamp, payload))
         else:
+            if self.on_buffer is not None:
+                blocking = self.blocking_of(stamp)
+                assert blocking is not None  # not deliverable, so a gap exists
+                self.on_buffer(stamp, payload, blocking)
             self._buffer.append((stamp, payload))
             self.buffered_high_water = max(self.buffered_high_water, len(self._buffer))
         if self.on_occupancy is not None and len(self._buffer) != depth_before:
             self.on_occupancy(len(self._buffer))
         return delivered
 
-    def _drain_buffer(self) -> List[Tuple[Stamp, object]]:
+    def _drain_buffer(
+        self, by_stamp: Stamp, by_payload: object
+    ) -> List[Tuple[Stamp, object]]:
         delivered: List[Tuple[Stamp, object]] = []
         progress = True
         while progress:
@@ -139,6 +211,8 @@ class DeliveryState:
             for index, (stamp, payload) in enumerate(self._buffer):
                 if self.deliverable(stamp):
                     self._consume(stamp)
+                    if self.on_drain is not None:
+                        self.on_drain(stamp, payload, by_stamp, by_payload)
                     delivered.append((stamp, payload))
                     del self._buffer[index]
                     progress = True
@@ -155,6 +229,21 @@ class DeliveryState:
     def pending_stamps(self) -> List[Stamp]:
         """Stamps of buffered messages (diagnostics)."""
         return [stamp for stamp, _ in self._buffer]
+
+    def pending_blocking(self) -> List[Tuple[Stamp, Blocking]]:
+        """Each buffered stamp with the gap *currently* blocking it.
+
+        Unlike the gap reported to ``on_buffer`` at buffering time, this
+        reflects counters as of now — earlier arrivals may have satisfied
+        the original constraint while a later one still blocks.  Used by
+        end-of-run forensics to explain messages that never drained.
+        """
+        out: List[Tuple[Stamp, Blocking]] = []
+        for stamp, _ in self._buffer:
+            blocking = self.blocking_of(stamp)
+            assert blocking is not None  # buffered, so a gap exists
+            out.append((stamp, blocking))
+        return out
 
     def expected_group_seq(self, group: int) -> int:
         """Next group-local number this receiver will accept for ``group``."""

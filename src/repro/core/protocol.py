@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids obs coupling
     from repro.obs.registry import MetricsRegistry
 
 from repro.core.atoms import AtomRuntime, build_atom_runtimes
-from repro.core.delivery import DeliveryState
+from repro.core.delivery import Blocking, DeliveryState
 from repro.core.messages import ATOM_ENTRY_BYTES, HEADER_BYTES, AtomId, Message, Stamp
 from repro.core.placement import Placement, place
 from repro.core.sequencing_graph import SequencingGraph
@@ -258,6 +258,15 @@ class HostProcess(Process):
         self.host = host
         self.fabric = fabric
         self.delivery = delivery
+        # Forensic observers: every deliver-or-buffer decision that ends
+        # in a buffer, and every buffer release, becomes a trace record
+        # carrying the exact blocking (atom, expected_seq) gap.  The
+        # callbacks fire only on out-of-order arrivals (low volume) and
+        # skip all work while tracing is disabled, like ``seq_hop``.
+        delivery.on_buffer = self._record_buffer
+        delivery.on_drain = self._record_drain
+        #: msg_id -> virtual time it entered the hold-back buffer
+        self._buffered_at: Dict[int, float] = {}
         self.delivered: List[DeliveryRecord] = []
         #: messages known stable (delivered by every group member)
         self.stable_ids: Set[int] = set()
@@ -343,6 +352,47 @@ class HostProcess(Process):
                         self.fabric.node_processes[egress],
                         StabilityAck(final.msg_id, self.host.host_id),
                     )
+
+    def _record_buffer(
+        self, stamp: Stamp, payload: object, blocking: Blocking
+    ) -> None:
+        """Trace a deliver-or-buffer decision that buffered the arrival."""
+        if not self.fabric.trace.enabled:
+            return
+        assert isinstance(payload, DeliveryRecord)
+        self._buffered_at[payload.msg_id] = self.sim.now
+        self.fabric.trace.record(
+            self.sim.now,
+            "buffer",
+            host=self.host.host_id,
+            msg=payload.msg_id,
+            group=stamp.group,
+            blocked_kind=blocking.kind,
+            blocked_on=blocking.key,
+            have_seq=blocking.have,
+            expected_seq=blocking.expected,
+        )
+
+    def _record_drain(
+        self, stamp: Stamp, payload: object, by_stamp: Stamp, by_payload: object
+    ) -> None:
+        """Trace a buffer release and the arrival that unblocked it."""
+        if not self.fabric.trace.enabled:
+            return
+        assert isinstance(payload, DeliveryRecord)
+        assert isinstance(by_payload, DeliveryRecord)
+        buffered_at = self._buffered_at.pop(payload.msg_id, None)
+        self.fabric.trace.record(
+            self.sim.now,
+            "drain",
+            host=self.host.host_id,
+            msg=payload.msg_id,
+            group=stamp.group,
+            unblocked_by=by_payload.msg_id,
+            waited=(
+                self.sim.now - buffered_at if buffered_at is not None else None
+            ),
+        )
 
 
 class SequencingNodeProcess(Process):
@@ -495,7 +545,10 @@ class SequencingNodeProcess(Process):
                 raise SimulationError(
                     f"atom {current} routed to node {self.node_id} but not hosted"
                 )
-            next_atom = runtime.process(message)
+            if trace.enabled:
+                next_atom = self._process_traced(runtime, message, current)
+            else:
+                next_atom = runtime.process(message)
             if next_atom is None:
                 self.fabric._distribute(self, message)
                 return
@@ -504,6 +557,42 @@ class SequencingNodeProcess(Process):
                 continue
             self.fabric._send_data(self, next_atom, message)
             return
+
+    def _process_traced(
+        self, runtime: AtomRuntime, message: Message, current: AtomId
+    ) -> Optional[AtomId]:
+        """One atom visit plus its forensic record (tracing-enabled path).
+
+        Emits ``atom_seq`` when the visit assigned any sequence number —
+        an overlap number (``seq``), the group-local number at ingress
+        (``group_seq``), or both — and ``atom_pass`` for a pure
+        pass-through in arrival order.
+        """
+        group_seq_before = message.group_seq
+        stamped_before = len(message.atom_seqs)
+        next_atom = runtime.process(message)
+        entries = message.atom_seqs
+        seq = entries[-1][1] if len(entries) > stamped_before else None
+        group_seq = message.group_seq if group_seq_before is None else None
+        if seq is None and group_seq is None:
+            self.fabric.trace.record(
+                self.sim.now,
+                "atom_pass",
+                msg=message.msg_id,
+                node=self.node_id,
+                atom=repr(current),
+            )
+        else:
+            self.fabric.trace.record(
+                self.sim.now,
+                "atom_seq",
+                msg=message.msg_id,
+                node=self.node_id,
+                atom=repr(current),
+                seq=seq,
+                group_seq=group_seq,
+            )
+        return next_atom
 
 
 # ---------------------------------------------------------------------------
@@ -759,6 +848,17 @@ class OrderingFabric:
         )
         key = (src.name, dst.name)
         self.retransmits_by_link[key] = self.retransmits_by_link.get(key, 0) + 1
+        if self.trace.enabled:
+            # Guarded like seq_hop: retransmissions can be high-volume
+            # under chaos, and the forensics joins need the per-event
+            # (time, link, cause) stream, not just the counters.
+            self.trace.record(
+                self.sim.now,
+                "retransmit",
+                src=repr(src.name),
+                dst=repr(dst.name),
+                cause=cause,
+            )
 
     def _retransmit(
         self, src: Process, dst: Process, hop: HopPacket, attempts: int

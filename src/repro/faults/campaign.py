@@ -17,6 +17,13 @@ wrappers over :func:`run_campaign`.
 Publishers are always members of the group they publish to, which is
 the paper's Section 3.1 precondition for the causal-order guarantee —
 and what lets the campaign check RT306 rather than skip it.
+
+A failing campaign (any finding, including non-quiescence) attaches an
+ordering-forensics block to its report: the full stall attribution from
+:class:`repro.obs.forensics.JourneyIndex`, so CI logs explain *which*
+blocking ``(atom, seq)`` gaps starved receivers and why, without rerun.
+:func:`execute_campaign` additionally hands back the live fabric so
+callers (the ``repro explain`` CLI) can interrogate the trace directly.
 """
 
 import random
@@ -28,9 +35,10 @@ from repro.experiments.common import ExperimentEnv
 from repro.faults.detector import HeartbeatDetector
 from repro.faults.failover import wire_failover
 from repro.faults.plan import FaultPlan, random_plan
+from repro.obs.forensics import JourneyIndex
 from repro.workloads.zipf import zipf_membership
 
-__all__ = ["ChaosConfig", "run_campaign"]
+__all__ = ["CampaignRun", "ChaosConfig", "execute_campaign", "run_campaign"]
 
 #: Hard ceiling on drain events after the traffic horizon — a run that
 #: needs more is reported as non-quiescent instead of hanging CI.
@@ -122,6 +130,21 @@ def _detection_latencies(
     return latencies
 
 
+@dataclass
+class CampaignRun:
+    """One executed campaign: the report plus the live machinery behind it.
+
+    ``fabric`` still holds the full trace, delivery states, and failover
+    records, so post-mortem tooling (``repro explain``) can rebuild
+    forensics without re-running the campaign.
+    """
+
+    report: Dict[str, Any]
+    fabric: Any
+    detector: HeartbeatDetector
+    plan: FaultPlan
+
+
 def run_campaign(
     config: ChaosConfig, plan: Optional[FaultPlan] = None
 ) -> Dict[str, Any]:
@@ -131,6 +154,13 @@ def run_campaign(
     inject hand-built compositions); everything else still derives from
     ``config.seed``.
     """
+    return execute_campaign(config, plan).report
+
+
+def execute_campaign(
+    config: ChaosConfig, plan: Optional[FaultPlan] = None
+) -> CampaignRun:
+    """Run one seeded chaos campaign; return report *and* live fabric."""
     config.validate()
     env = ExperimentEnv(n_hosts=config.hosts, seed=config.seed)
     snapshot = zipf_membership(
@@ -266,4 +296,11 @@ def run_campaign(
         "findings": finding_dicts,
         "ok": not finding_dicts,
     }
-    return report
+    if finding_dicts and fabric.trace.enabled:
+        # Explain the failure in the report itself: full stall attribution
+        # (threshold 0 = every buffer event) so CI logs name the blocking
+        # (atom, seq) gaps and their causes without a reproduction run.
+        report["forensics"] = JourneyIndex(fabric.trace).stall_report(
+            threshold=0.0
+        )
+    return CampaignRun(report=report, fabric=fabric, detector=detector, plan=plan)

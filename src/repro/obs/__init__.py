@@ -11,12 +11,26 @@ The package has four parts:
   group.
 * :mod:`repro.obs.exporters` — dump traces and metrics as JSONL,
   Prometheus-style text, and Chrome trace-event JSON (Perfetto-loadable).
+* :mod:`repro.obs.forensics` — the flight recorder's analysis side: rebuild
+  per-message journeys and per-receiver hold-back histories from trace
+  records (live or JSONL), explain every deliver-or-buffer decision with
+  its blocking ``(atom, expected_seq)`` gap, and attribute stalls to loss
+  / outage / peer_down / failover replay / in-flight by joining the fault
+  records.  Surfaced as the ``repro explain`` CLI subcommand.
 * :mod:`repro.obs.hooks` — wiring that attaches a registry to a running
   :class:`~repro.core.protocol.OrderingFabric` and its simulator.
 
 See ``docs/OBSERVABILITY.md`` for the full model and overhead notes.
 """
 
+from repro.obs.forensics import (
+    BufferEvent,
+    Journey,
+    JourneyIndex,
+    render_journey,
+    render_stalls,
+    waits_to_dot,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -28,9 +42,12 @@ from repro.obs.registry import (
 from repro.obs.spans import MessageSpan, PHASES, build_spans, phase_breakdown_by_group
 
 __all__ = [
+    "BufferEvent",
     "Counter",
     "Gauge",
     "Histogram",
+    "Journey",
+    "JourneyIndex",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "log_buckets",
@@ -38,4 +55,7 @@ __all__ = [
     "PHASES",
     "build_spans",
     "phase_breakdown_by_group",
+    "render_journey",
+    "render_stalls",
+    "waits_to_dot",
 ]

@@ -10,9 +10,11 @@ Three formats, three consumers:
   lines, ``name{labels} value`` samples), scrape-compatible and greppable.
 * **Chrome trace events** — the ``traceEvents`` JSON consumed by Perfetto
   and ``chrome://tracing``: one track (thread) per sequencing node, one
-  complete slice per message hop, instant events for publish/deliver.
-  Timestamps are **virtual** simulation time (ms), exported in the format's
-  microsecond unit.
+  complete slice per message hop, instant events for publish/deliver, and
+  one flow (``ph: "s"/"t"/"f"``, flow id = message id) threading each
+  message's publish through its sequencing hops to every delivery so the
+  hops connect visually.  Timestamps are **virtual** simulation time (ms),
+  exported in the format's microsecond unit.
 """
 
 import json
@@ -50,14 +52,21 @@ def write_trace_jsonl(trace: Trace, path: PathLike) -> pathlib.Path:
 
 
 def trace_from_jsonl(text: str) -> List[TraceRecord]:
-    """Parse JSONL back into records equal to the originals."""
+    """Parse JSONL back into records equal to the originals.
+
+    Numeric data fields come back as real ints/floats (JSON preserves the
+    distinction), and ``time`` is coerced to ``float`` even when the writer
+    serialized a whole number without a fractional part — consumers doing
+    arithmetic on times (:mod:`repro.obs.forensics`, :mod:`repro.obs.spans`)
+    must behave identically on a loaded trace and a live one.
+    """
     records: List[TraceRecord] = []
     for line in text.splitlines():
         line = line.strip()
         if not line:
             continue
         obj = json.loads(line)
-        records.append(TraceRecord(obj["time"], obj["kind"], obj["data"]))
+        records.append(TraceRecord(float(obj["time"]), obj["kind"], obj["data"]))
     return records
 
 
@@ -148,13 +157,23 @@ def _us(time_ms: float) -> float:
     return time_ms * 1000.0
 
 
+#: Category string shared by a message's flow events (start/step/finish
+#: events bind into one flow by matching ``cat`` + ``name`` + ``id``).
+FLOW_CAT = "message"
+
+
 def trace_to_chrome(trace: Trace) -> Dict[str, object]:
     """Build a Chrome trace-event document from a fabric trace.
 
     Layout: the "sequencing nodes" process has one thread per node with a
     complete (``ph: "X"``) slice per message visit; the "hosts" process has
     one thread per host with instant (``ph: "i"``) publish/deliver events.
-    Load the result in Perfetto or ``chrome://tracing``.
+    Each message additionally emits one flow — start (``ph: "s"``) at the
+    publish, a step (``ph: "t"``) at every sequencing hop, and a finish
+    (``ph: "f"``, binding point ``"e"``) at every delivery — all sharing
+    the message id as flow id, so Perfetto draws arrows connecting the
+    message's path across tracks.  Load the result in Perfetto or
+    ``chrome://tracing``.
     """
     spans = build_spans(trace)
     events: List[Dict[str, object]] = [
@@ -204,6 +223,7 @@ def trace_to_chrome(trace: Trace) -> Dict[str, object]:
 
     for msg_id in sorted(spans):
         span = spans[msg_id]
+        flow = {"cat": FLOW_CAT, "name": f"m{msg_id}", "id": msg_id}
         name_host(span.sender)
         events.append(
             {
@@ -214,6 +234,15 @@ def trace_to_chrome(trace: Trace) -> Dict[str, object]:
                 "tid": span.sender,
                 "s": "t",
                 "args": {"msg": msg_id, "group": span.group},
+            }
+        )
+        events.append(
+            {
+                "ph": "s",
+                "ts": _us(span.publish_time),
+                "pid": HOSTS_PID,
+                "tid": span.sender,
+                **flow,
             }
         )
         for node, start, end in hop_intervals(span):
@@ -229,6 +258,15 @@ def trace_to_chrome(trace: Trace) -> Dict[str, object]:
                     "args": {"msg": msg_id, "group": span.group},
                 }
             )
+            events.append(
+                {
+                    "ph": "t",
+                    "ts": _us(start),
+                    "pid": SEQUENCING_PID,
+                    "tid": node,
+                    **flow,
+                }
+            )
         for host in sorted(span.deliveries):
             name_host(host)
             events.append(
@@ -240,6 +278,16 @@ def trace_to_chrome(trace: Trace) -> Dict[str, object]:
                     "tid": host,
                     "s": "t",
                     "args": {"msg": msg_id, "group": span.group},
+                }
+            )
+            events.append(
+                {
+                    "ph": "f",
+                    "bp": "e",
+                    "ts": _us(span.deliveries[host]),
+                    "pid": HOSTS_PID,
+                    "tid": host,
+                    **flow,
                 }
             )
     return {"traceEvents": events, "displayTimeUnit": "ms"}

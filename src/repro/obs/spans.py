@@ -22,6 +22,11 @@ kind            data fields
 spans require a fabric built with ``trace=True`` (the default).  Baseline
 implementations emit only ``publish``/``deliver``; their spans have no hops
 and no phase breakdown, but delivery latency still works.
+
+Spans are the coarse view; :mod:`repro.obs.forensics` consumes the finer
+flight-recorder kinds (``atom_seq``/``atom_pass``/``buffer``/``drain``)
+to additionally explain *why* a delivery waited in the hold-back buffer
+and to split the distribution phase into wire time versus ordering wait.
 """
 
 from dataclasses import dataclass, field

@@ -5,7 +5,11 @@ load figures from traces rather than by instrumenting protocol code, which
 keeps the protocol implementation uncluttered and lets baselines share the
 same analysis pipeline.  The observability layer (:mod:`repro.obs`) builds
 per-message lifecycle spans from the same records and can consume them live
-through subscribers.
+through subscribers; :mod:`repro.obs.forensics` goes further and rebuilds
+full per-message journeys and hold-back explanations from the
+flight-recorder kinds (``atom_seq``/``atom_pass``/``buffer``/``drain``/
+``retransmit``), which works identically on a live trace and on a JSONL
+export because every data value is a JSON primitive.
 
 **Recording contract** (see :meth:`Trace.record`):
 

@@ -214,3 +214,129 @@ def test_subscribes_to():
 def test_repr():
     state = DeliveryState(7, groups=[0], relevant_atoms=[])
     assert "host=7" in repr(state)
+
+
+# ---------------------------------------------------------------------------
+# Blocking explainer and observers
+# ---------------------------------------------------------------------------
+
+
+def test_blocking_of_names_group_gap():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    blocking = state.blocking_of(Stamp(0, 3))
+    assert blocking == ("group", "group:0", 3, 1)
+
+
+def test_blocking_of_names_atom_gap():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[q(0, 1)])
+    blocking = state.blocking_of(Stamp(0, 1, ((q(0, 1), 4),)))
+    assert blocking == ("atom", "Q(0,1)", 4, 1)
+
+
+def test_blocking_of_deliverable_is_none():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    assert state.blocking_of(Stamp(0, 1)) is None
+
+
+def test_blocking_of_checks_group_before_atoms():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[q(0, 1)])
+    # Both constraints unmet: the group counter is reported (decision order).
+    blocking = state.blocking_of(Stamp(0, 2, ((q(0, 1), 2),)))
+    assert blocking.kind == "group"
+
+
+def test_blocking_of_unsubscribed_group_rejected():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    with pytest.raises(KeyError):
+        state.blocking_of(Stamp(9, 1))
+
+
+def test_on_buffer_observer_reports_gap():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    seen = []
+    state.on_buffer = lambda stamp, payload, blocking: seen.append(
+        (stamp.group_seq, payload, blocking)
+    )
+    state.on_receive(Stamp(0, 2), payload="late")
+    assert seen == [(2, "late", ("group", "group:0", 2, 1))]
+    # Deliverable arrivals never hit the observer.
+    state.on_receive(Stamp(0, 1))
+    assert len(seen) == 1
+
+
+def test_on_drain_observer_reports_unblocking_arrival():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    drains = []
+    state.on_drain = lambda stamp, payload, by_stamp, by_payload: drains.append(
+        (stamp.group_seq, payload, by_stamp.group_seq, by_payload)
+    )
+    state.on_receive(Stamp(0, 2), payload="second")
+    state.on_receive(Stamp(0, 1), payload="first")
+    assert drains == [(2, "second", 1, "first")]
+
+
+def test_cascade_drain_releases_in_order_with_root_arrival():
+    """One arrival releasing >= 3 buffered messages: delivery order is the
+    sequence order and every drain is credited to the root arrival."""
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    drains = []
+    state.on_drain = lambda stamp, payload, by_stamp, by_payload: drains.append(
+        (stamp.group_seq, by_stamp.group_seq)
+    )
+    for seq in (4, 2, 3):  # buffered out of order
+        assert state.on_receive(Stamp(0, seq)) == []
+    assert state.pending == 3
+    assert state.buffered_high_water == 3
+    released = state.on_receive(Stamp(0, 1))
+    assert [s.group_seq for s, _ in released] == [1, 2, 3, 4]
+    assert drains == [(2, 1), (3, 1), (4, 1)]
+    assert state.pending == 0
+    # High-water reflects the cascade peak, not the drained end state.
+    assert state.buffered_high_water == 3
+
+
+def test_on_occupancy_tracks_cascade_depths():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    depths = []
+    state.on_occupancy = depths.append
+    for seq in (4, 2, 3):
+        state.on_receive(Stamp(0, seq))
+    state.on_receive(Stamp(0, 1))
+    # One callback per net size change: three buffers, then the cascade
+    # empties the buffer within a single on_receive (one callback, depth 0).
+    assert depths == [1, 2, 3, 0]
+
+
+def test_on_occupancy_not_called_for_direct_delivery():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    depths = []
+    state.on_occupancy = depths.append
+    state.on_receive(Stamp(0, 1))
+    assert depths == []
+
+
+def test_partial_cascade_occupancy_and_order():
+    """An arrival that releases only part of the buffer: the still-blocked
+    message stays, occupancy reflects the partial drain."""
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    depths = []
+    state.on_occupancy = depths.append
+    state.on_receive(Stamp(0, 2))
+    state.on_receive(Stamp(0, 5))  # still blocked after 1-3 arrive
+    state.on_receive(Stamp(0, 3))
+    released = state.on_receive(Stamp(0, 1))
+    assert [s.group_seq for s, _ in released] == [1, 2, 3]
+    assert state.pending == 1
+    assert depths == [1, 2, 3, 1]
+    assert state.buffered_high_water == 3
+
+
+def test_pending_blocking_reflects_current_counters():
+    state = DeliveryState(0, groups=[0], relevant_atoms=[])
+    state.on_receive(Stamp(0, 3))
+    state.on_receive(Stamp(0, 4))
+    [(s3, b3), (s4, b4)] = state.pending_blocking()
+    assert (s3.group_seq, b3.expected) == (3, 1)
+    assert (s4.group_seq, b4.expected) == (4, 1)
+    state.on_receive(Stamp(0, 1))  # 3 and 4 still blocked, now on seq 2
+    assert [b.expected for _, b in state.pending_blocking()] == [2, 2]

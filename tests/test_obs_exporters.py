@@ -158,3 +158,84 @@ class TestTraceRecordEquality:
         b = TraceRecord(1.0, "publish", {"msg": 1})
         c = TraceRecord(1.0, "publish", {"msg": 2})
         assert a == b and a != c
+
+
+class TestJsonlNumericTypes:
+    """Regression: numeric fields must come back as real ints/floats so
+    JourneyIndex rebuilds identically from disk and from a live trace."""
+
+    def test_numeric_fields_round_trip_as_numbers(self, traced_run):
+        fabric, _ = traced_run
+        restored = exporters.trace_from_jsonl(
+            exporters.trace_to_jsonl(fabric.trace)
+        )
+        assert restored
+        for record in restored:
+            assert isinstance(record.time, float)
+            for key, value in record.data.items():
+                assert not isinstance(value, bool)
+                assert isinstance(value, (int, float, str, type(None))), (
+                    record.kind,
+                    key,
+                    value,
+                )
+        seqs = [r.data["seq"] for r in restored if r.kind == "atom_seq"]
+        assert seqs and all(
+            isinstance(s, int) for s in seqs if s is not None
+        )
+
+    def test_integer_written_time_loads_as_float(self):
+        line = json.dumps(
+            {"time": 3, "kind": "publish", "data": {"msg": 0, "group": 1, "sender": 2}}
+        )
+        [record] = exporters.trace_from_jsonl(line)
+        assert isinstance(record.time, float)
+        assert record.time == 3.0
+        assert isinstance(record.data["msg"], int)
+
+
+class TestChromeFlowEvents:
+    def test_every_deliver_has_matching_ingress_flow(self, traced_run):
+        """Each flow finish ('f') binds to a start ('s') emitted at the
+        message's publish: same id, cat, and name."""
+        fabric, _ = traced_run
+        events = exporters.trace_to_chrome(fabric.trace)["traceEvents"]
+        starts = {
+            (e["cat"], e["name"], e["id"]) for e in events if e["ph"] == "s"
+        }
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(finishes) == fabric.trace.count("deliver")
+        for event in finishes:
+            assert (event["cat"], event["name"], event["id"]) in starts
+            assert event["bp"] == "e"
+
+    def test_flow_ids_are_message_ids(self, traced_run):
+        fabric, _ = traced_run
+        events = exporters.trace_to_chrome(fabric.trace)["traceEvents"]
+        published = {r.data["msg"] for r in fabric.trace if r.kind == "publish"}
+        starts = [e for e in events if e["ph"] == "s"]
+        assert {e["id"] for e in starts} == published
+        assert len(starts) == len(published)
+
+    def test_flow_steps_ride_the_hop_slices(self, traced_run):
+        fabric, _ = traced_run
+        events = exporters.trace_to_chrome(fabric.trace)["traceEvents"]
+        steps = [e for e in events if e["ph"] == "t"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(steps) == len(slices)
+        slice_keys = {(e["pid"], e["tid"], e["ts"]) for e in slices}
+        for step in steps:
+            assert (step["pid"], step["tid"], step["ts"]) in slice_keys
+
+    def test_flow_timestamps_ordered_start_to_finish(self, traced_run):
+        fabric, _ = traced_run
+        events = exporters.trace_to_chrome(fabric.trace)["traceEvents"]
+        by_id = {}
+        for event in events:
+            if event["ph"] in ("s", "t", "f"):
+                by_id.setdefault(event["id"], []).append(event)
+        for flow_events in by_id.values():
+            start = [e["ts"] for e in flow_events if e["ph"] == "s"]
+            assert len(start) == 1
+            for event in flow_events:
+                assert event["ts"] >= start[0]
