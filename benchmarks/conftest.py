@@ -8,7 +8,10 @@ Every benchmark regenerates one paper figure (or an ablation) and
 
 Set ``REPRO_PAPER_SCALE=1`` to run on the full 10,000-router topology and
 ``REPRO_BENCH_RUNS`` to override repetition counts (the paper uses 100
-runs for Figures 5/6).
+runs for Figures 5/6).  Both knobs are recorded into every saved result
+— a header line in the ``.txt`` table and ``extra_info`` keys in the
+pytest-benchmark JSON — so two result files are never compared without
+knowing the scale they ran at.
 """
 
 import os
@@ -30,6 +33,29 @@ def paper_scale() -> bool:
     return os.environ.get("REPRO_PAPER_SCALE", "") == "1"
 
 
+def _config_header() -> str:
+    """One-line record of the environment knobs a result ran under."""
+    return (
+        f"# config: REPRO_BENCH_RUNS={bench_runs()} "
+        f"REPRO_PAPER_SCALE={'1' if paper_scale() else '0'}"
+    )
+
+
+@pytest.fixture(autouse=True)
+def record_bench_config(request):
+    """Stamp the env knobs into pytest-benchmark's ``extra_info``.
+
+    Applies only to tests that actually use the ``benchmark`` fixture;
+    runs before the test body so the keys survive even when the
+    benchmark itself fails its shape assertion.
+    """
+    if "benchmark" in request.fixturenames:
+        benchmark = request.getfixturevalue("benchmark")
+        benchmark.extra_info["repro_bench_runs"] = bench_runs()
+        benchmark.extra_info["repro_paper_scale"] = paper_scale()
+    yield
+
+
 @pytest.fixture(scope="session")
 def env128():
     """The paper's subscriber population over the shared topology."""
@@ -38,10 +64,16 @@ def env128():
 
 @pytest.fixture(scope="session")
 def save_result():
-    """Writer for rendered figure tables (one .txt per benchmark)."""
+    """Writer for rendered figure tables (one .txt per benchmark).
+
+    Every file starts with the config header naming the repetition count
+    and scale it was produced under.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _save(name: str, text: str) -> None:
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(
+            _config_header() + "\n" + text + "\n"
+        )
 
     return _save

@@ -44,8 +44,18 @@ from repro.check.findings import SEVERITY_ERROR, Finding
 
 TOOL = "simlint"
 
-#: dotted module prefixes in which the "sim"-scoped rules apply
-SIM_SCOPED_PREFIXES = ("repro.sim", "repro.core")
+#: dotted module prefixes in which the "sim"-scoped rules apply.  The
+#: bench/profiler modules opt in even though they live under repro.obs:
+#: they run inside the measured hot path, so a stray wall-clock read or
+#: global-RNG draw there is exactly as determinism-hostile as one in the
+#: kernel.  Their single sanctioned clock read is the profiler's
+#: ``read_wall_clock`` shim (suppressed inline with a justification).
+SIM_SCOPED_PREFIXES = (
+    "repro.sim",
+    "repro.core",
+    "repro.obs.profiler",
+    "repro.obs.bench",
+)
 
 _SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
 _SUPPRESS_FILE_RE = re.compile(r"#\s*simlint:\s*disable-file=([A-Za-z0-9_,\s]+)")

@@ -158,9 +158,17 @@ def run_campaign(
 
 
 def execute_campaign(
-    config: ChaosConfig, plan: Optional[FaultPlan] = None
+    config: ChaosConfig,
+    plan: Optional[FaultPlan] = None,
+    profiler: Optional[Any] = None,
 ) -> CampaignRun:
-    """Run one seeded chaos campaign; return report *and* live fabric."""
+    """Run one seeded chaos campaign; return report *and* live fabric.
+
+    ``profiler`` (a :class:`~repro.obs.profiler.PhaseProfiler`) attaches
+    hot-path phase profiling to the campaign's fabric — used by ``repro
+    bench`` to break a chaos workload's wall time down by phase.  It
+    observes wall time only and cannot change the campaign's outcome.
+    """
     config.validate()
     env = ExperimentEnv(n_hosts=config.hosts, seed=config.seed)
     snapshot = zipf_membership(
@@ -173,6 +181,7 @@ def execute_campaign(
         loss_rate=config.loss_rate,
         retransmit_timeout=config.retransmit_timeout,
         max_retransmits=config.max_retransmits,
+        profiler=profiler,
     )
 
     detector = HeartbeatDetector(

@@ -1,0 +1,710 @@
+"""``repro bench`` — fixed-seed performance suites with a JSON trajectory.
+
+A *workload* is a named, seeded unit of work (a figure reproduction, a
+chaos campaign, a hold-back microbenchmark); a *suite* is an ordered
+list of workloads.  :func:`run_suite` executes each workload ``warmup +
+runs`` times, keeps the timed repetitions' wall clocks, and emits a
+schema-versioned report (``repro-bench/1``) suitable for committing as
+``BENCH_<suite>.json`` and diffing over time with :func:`compare`.
+
+Two properties make the reports comparable at all:
+
+* **Deterministic counts.**  Every workload reports the exact event,
+  message, and work counts it produced; the harness re-checks them
+  across repetitions and raises :class:`BenchDeterminismError` on any
+  drift.  Counts from two same-seed runs — on different machines, weeks
+  apart — must match; only wall times may differ.
+* **Normalized timing comparison.**  Machines differ in absolute speed,
+  so :func:`compare` divides each workload's new/old wall-time ratio by
+  the *median* ratio across workloads: a uniformly slower CI runner
+  cancels out, while a single genuinely regressed workload stands out.
+  ``normalize=False`` compares raw ratios (same-machine A/B runs).
+
+When profiling is on (the default), each timed repetition runs under a
+fresh :class:`~repro.obs.profiler.PhaseProfiler`, and the report carries
+the per-phase exclusive wall-time breakdown (dispatch / sequencing /
+delivery / trace) plus the profiler's own measured overhead.  The
+``obs_overhead`` workload goes further and times the same traffic bare
+and fully instrumented, reporting the ratio — the price of
+:mod:`repro.obs` in one number.
+
+This module is inside simlint's simulation-critical scope: all wall
+clock reads flow through the profiler's sampling shim
+(:func:`~repro.obs.profiler.read_wall_clock`), never the host clock
+directly.
+"""
+
+import json
+import pathlib
+import platform
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.delivery import DeliveryState
+from repro.core.messages import AtomId, Stamp
+from repro.obs.profiler import PhaseProfiler, read_wall_clock
+from repro.obs.registry import MetricsRegistry
+from repro.obs.resources import GcPauseSampler, peak_rss_bytes
+from repro.workloads.zipf import zipf_membership
+
+#: Version tag of the report layout; bump on incompatible change.
+SCHEMA = "repro-bench/1"
+
+#: Default fractional slowdown treated as a regression by :func:`compare`.
+DEFAULT_THRESHOLD = 0.25
+
+PathLike = Union[str, pathlib.Path]
+
+
+class BenchDeterminismError(RuntimeError):
+    """A workload's deterministic counts drifted between repetitions.
+
+    Raised by :func:`run_suite` when two same-seed repetitions disagree
+    on any count field — which means the simulation is no longer a pure
+    function of its seed and every figure in the repo is suspect.
+    """
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named, seeded unit of benchmarked work.
+
+    ``fn(seed, profiler)`` performs the work and returns a dict with
+    ``events`` (simulator events executed), ``messages`` (messages
+    published/processed), ``counts`` (a JSON-able dict of further
+    deterministic counts), and optionally ``extra`` (JSON-able,
+    *non*-deterministic metadata such as sub-phase wall times).
+    ``profiler`` is a fresh :class:`PhaseProfiler` or ``None``.
+    """
+
+    name: str
+    description: str
+    fn: Callable[[int, Optional[PhaseProfiler]], Dict[str, Any]]
+
+
+# ---------------------------------------------------------------------------
+# Workload definitions
+# ---------------------------------------------------------------------------
+
+
+def _fig3_workload(n_hosts: int, group_counts: Tuple[int, ...]) -> Workload:
+    """The paper's latency workload: one message per (member, group)."""
+
+    def run(seed: int, profiler: Optional[PhaseProfiler]) -> Dict[str, Any]:
+        from repro.experiments.common import ExperimentEnv
+        from repro.metrics.stretch import latency_stretch_by_destination
+
+        env = ExperimentEnv(n_hosts=n_hosts, seed=seed)
+        env.profiler = profiler
+        events = messages = destinations = 0
+        for n_groups in group_counts:
+            snapshot = zipf_membership(
+                n_hosts, n_groups, rng=random.Random(seed + n_groups)
+            )
+            membership = env.membership_from(snapshot)
+            fabric = env.build_fabric(membership, seed=seed, trace=False)
+            messages += env.run_one_message_per_membership(fabric)
+            events += fabric.sim.events_executed
+            destinations += len(latency_stretch_by_destination(fabric))
+        return {
+            "events": events,
+            "messages": messages,
+            "counts": {"destinations": destinations},
+        }
+
+    return Workload(
+        "fig3_latency_stretch",
+        f"Figure 3 latency/stretch: {n_hosts} hosts, "
+        f"groups {'/'.join(str(g) for g in group_counts)}",
+        run,
+    )
+
+
+def _fig6_workload(
+    group_counts: Tuple[int, ...], runs_per_count: int, n_hosts: int = 128
+) -> Workload:
+    """Figure 6 stress: pure graph/placement construction, no simulation."""
+
+    def run(seed: int, profiler: Optional[PhaseProfiler]) -> Dict[str, Any]:
+        from repro.experiments.common import ExperimentEnv
+        from repro.experiments.fig6_stress import run_fig6
+
+        env = ExperimentEnv(n_hosts=n_hosts, seed=seed)
+        results = run_fig6(
+            env, group_counts=group_counts, runs=runs_per_count, seed=seed
+        )
+        return {
+            "events": 0,
+            "messages": 0,
+            "counts": {
+                "nodes_sampled": sum(len(v) for v in results.values()),
+                "group_counts": len(results),
+            },
+        }
+
+    return Workload(
+        "fig6_stress",
+        f"Figure 6 stress: {runs_per_count} runs x "
+        f"{len(group_counts)} group counts, {n_hosts} hosts",
+        run,
+    )
+
+
+def _chaos_workload(
+    hosts: int, groups: int, events: int, horizon: float
+) -> Workload:
+    """One seeded chaos campaign: faults, failover, verification."""
+
+    def run(seed: int, profiler: Optional[PhaseProfiler]) -> Dict[str, Any]:
+        from repro.faults.campaign import ChaosConfig, execute_campaign
+
+        config = ChaosConfig(
+            hosts=hosts, groups=groups, events=events, seed=seed, horizon=horizon
+        )
+        report = execute_campaign(config, profiler=profiler).report
+        return {
+            "events": report["events"],
+            "messages": report["published"],
+            "counts": {
+                "delivered": report["delivered"],
+                "retransmissions": report["retransmissions"]["total"],
+                "failovers": len(report["failovers"]),
+                "findings": len(report["findings"]),
+                "quiescent": report["quiescent"],
+            },
+        }
+
+    return Workload(
+        "chaos_campaign",
+        f"chaos campaign: {hosts} hosts, {groups} groups, {events} events",
+        run,
+    )
+
+
+def _holdback_workload(n_messages: int, batch: int) -> Workload:
+    """Deliver-or-buffer microbenchmark on a bare :class:`DeliveryState`.
+
+    Group-local sequence numbers arrive in per-batch shuffled order, so
+    most arrivals buffer and each batch drains in one cascade when its
+    lowest number lands — exercising exactly the hot deliver/buffer/drain
+    code path, with no network or event loop around it.
+    """
+
+    def run(seed: int, profiler: Optional[PhaseProfiler]) -> Dict[str, Any]:
+        atom = AtomId.overlap(0, 1)
+        state = DeliveryState(host_id=0, groups=(0,), relevant_atoms=(atom,))
+        rng = random.Random(seed)
+        order: List[int] = []
+        for start in range(1, n_messages + 1, batch):
+            chunk = list(range(start, min(start + batch, n_messages + 1)))
+            rng.shuffle(chunk)
+            order.extend(chunk)
+        delivered = 0
+        if profiler is not None and profiler.enabled:
+            profiler.enter("delivery")
+        for seq in order:
+            stamp = Stamp(group=0, group_seq=seq, atom_seqs=((atom, seq),))
+            delivered += len(state.on_receive(stamp))
+        if profiler is not None and profiler.enabled:
+            profiler.exit()
+        return {
+            "events": 0,
+            "messages": n_messages,
+            "counts": {
+                "delivered": delivered,
+                "buffered_high_water": state.buffered_high_water,
+                "pending": state.pending,
+            },
+        }
+
+    return Workload(
+        "holdback_micro",
+        f"hold-back microbenchmark: {n_messages} stamps in "
+        f"shuffled batches of {batch}",
+        run,
+    )
+
+
+def _obs_overhead_workload(hosts: int, groups: int, events: int) -> Workload:
+    """Same traffic twice — bare, then fully instrumented — and the ratio.
+
+    Doubles as the outcome-invariance gate: if tracing, metrics, or the
+    profiler change the executed-event or published-message counts, the
+    workload raises :class:`BenchDeterminismError` on the spot.
+    """
+
+    def run(seed: int, profiler: Optional[PhaseProfiler]) -> Dict[str, Any]:
+        from repro.experiments.common import ExperimentEnv
+
+        rng = random.Random(seed)
+        snapshot = zipf_membership(hosts, groups, rng=rng)
+        group_list = sorted(snapshot)
+        schedule = []
+        for _ in range(events):
+            group = rng.choice(group_list)
+            schedule.append((rng.choice(sorted(snapshot[group])), group))
+
+        def one(instrumented: bool) -> Any:
+            env = ExperimentEnv(n_hosts=hosts, seed=seed)
+            membership = env.membership_from(snapshot)
+            if instrumented:
+                fabric = env.build_fabric(
+                    membership,
+                    seed=seed,
+                    trace=True,
+                    registry=MetricsRegistry(),
+                    profiler=profiler,
+                )
+            else:
+                fabric = env.build_fabric(membership, seed=seed, trace=False)
+            for sender, group in schedule:
+                fabric.publish(sender, group)
+            fabric.run()
+            return fabric
+
+        begin = read_wall_clock()
+        bare = one(False)
+        mid = read_wall_clock()
+        instrumented = one(True)
+        bare_s = mid - begin
+        instrumented_s = read_wall_clock() - mid
+        if bare.sim.events_executed != instrumented.sim.events_executed or len(
+            bare.published
+        ) != len(instrumented.published):
+            raise BenchDeterminismError(
+                "instrumentation changed simulation outcomes: bare run "
+                f"executed {bare.sim.events_executed} events / published "
+                f"{len(bare.published)}, instrumented run "
+                f"{instrumented.sim.events_executed} / "
+                f"{len(instrumented.published)}"
+            )
+        return {
+            "events": bare.sim.events_executed + instrumented.sim.events_executed,
+            "messages": len(bare.published) + len(instrumented.published),
+            "counts": {
+                "events_per_run": bare.sim.events_executed,
+                "trace_records": len(instrumented.trace),
+            },
+            "extra": {
+                "bare_s": bare_s,
+                "instrumented_s": instrumented_s,
+                "overhead_ratio": (
+                    instrumented_s / bare_s if bare_s > 0 else None
+                ),
+            },
+        }
+
+    return Workload(
+        "obs_overhead",
+        f"observability overhead: bare vs instrumented, {hosts} hosts, "
+        f"{events} messages",
+        run,
+    )
+
+
+#: Named suites, cheapest first.  ``smoke`` exists for the test suite
+#: (sub-second); ``quick`` is the CI gate; ``full`` is the paper-shaped
+#: workload mix for deliberate before/after measurements.
+SUITES: Dict[str, Tuple[Workload, ...]] = {
+    "smoke": (
+        _holdback_workload(400, 32),
+        _chaos_workload(12, 4, 20, 150.0),
+    ),
+    "quick": (
+        _fig3_workload(64, (8, 16)),
+        _fig6_workload((4, 16, 64), 20),
+        _chaos_workload(24, 8, 80, 400.0),
+        _holdback_workload(2000, 64),
+        _obs_overhead_workload(32, 8, 120),
+    ),
+    "full": (
+        _fig3_workload(128, (8, 16, 32, 64)),
+        _fig6_workload((2, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64), 100),
+        _chaos_workload(32, 12, 160, 600.0),
+        _holdback_workload(8000, 128),
+        _obs_overhead_workload(64, 16, 400),
+    ),
+}
+
+
+def list_suites() -> str:
+    """Human-readable catalog of suites and their workloads."""
+    lines: List[str] = []
+    for name in sorted(SUITES):
+        lines.append(f"{name}:")
+        for workload in SUITES[name]:
+            lines.append(f"  {workload.name:<22} {workload.description}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+def _deterministic_slice(
+    result: Dict[str, Any], profiler: Optional[PhaseProfiler]
+) -> Dict[str, Any]:
+    """The fields two same-seed repetitions must agree on exactly."""
+    counts = dict(result.get("counts", {}))
+    if profiler is not None:
+        counts["profile"] = profiler.counts()
+    return {
+        "events": result["events"],
+        "messages": result["messages"],
+        "counts": counts,
+    }
+
+
+def run_workload(
+    workload: Workload,
+    runs: int = 3,
+    warmup: int = 1,
+    seed: int = 0,
+    profile: bool = True,
+    sample_every: int = 4096,
+) -> Dict[str, Any]:
+    """Execute one workload ``warmup + runs`` times; return its report.
+
+    Every timed repetition gets a fresh profiler (when ``profile``); the
+    reported breakdown is the last repetition's.  Deterministic counts
+    are checked for equality across all timed repetitions.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    for _ in range(warmup):
+        workload.fn(seed, PhaseProfiler(sample_every=sample_every) if profile else None)
+    wall: List[float] = []
+    reference: Optional[Dict[str, Any]] = None
+    breakdown: Optional[Dict[str, Any]] = None
+    extra: Optional[Dict[str, Any]] = None
+    sampler = GcPauseSampler()
+    with sampler:
+        for rep in range(runs):
+            profiler = PhaseProfiler(sample_every=sample_every) if profile else None
+            begin = read_wall_clock()
+            result = workload.fn(seed, profiler)
+            wall.append(read_wall_clock() - begin)
+            deterministic = _deterministic_slice(result, profiler)
+            if reference is None:
+                reference = deterministic
+            elif deterministic != reference:
+                raise BenchDeterminismError(
+                    f"workload {workload.name!r} (seed {seed}) produced "
+                    f"different counts on repetition {rep + 1}: "
+                    f"{deterministic!r} != {reference!r}"
+                )
+            if profiler is not None:
+                breakdown = profiler.breakdown()
+            extra = result.get("extra", extra)
+    assert reference is not None
+    best = min(wall)
+    report: Dict[str, Any] = {
+        "description": workload.description,
+        "wall_s": {
+            "reps": wall,
+            "min": best,
+            "mean": sum(wall) / len(wall),
+        },
+        "events": reference["events"],
+        "messages": reference["messages"],
+        "events_per_s": reference["events"] / best if best > 0 else None,
+        "messages_per_s": reference["messages"] / best if best > 0 else None,
+        "counts": reference["counts"],
+        "gc": sampler.to_dict(),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    if breakdown is not None:
+        report["breakdown"] = breakdown
+    if extra is not None:
+        report["extra"] = extra
+    return report
+
+
+def run_suite(
+    suite: str = "quick",
+    runs: int = 3,
+    warmup: int = 1,
+    seed: int = 0,
+    profile: bool = True,
+    sample_every: int = 4096,
+) -> Dict[str, Any]:
+    """Run a named suite; return the full ``repro-bench/1`` report."""
+    workloads = SUITES.get(suite)
+    if workloads is None:
+        raise KeyError(
+            f"unknown suite {suite!r}; known: {', '.join(sorted(SUITES))}"
+        )
+    results: Dict[str, Any] = {}
+    for workload in workloads:
+        results[workload.name] = run_workload(
+            workload,
+            runs=runs,
+            warmup=warmup,
+            seed=seed,
+            profile=profile,
+            sample_every=sample_every,
+        )
+    return {
+        "schema": SCHEMA,
+        "suite": suite,
+        "config": {
+            "runs": runs,
+            "warmup": warmup,
+            "seed": seed,
+            "profile": profile,
+            "sample_every": sample_every,
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.system().lower(),
+        },
+        "workloads": results,
+        "totals": {
+            "wall_s": sum(w["wall_s"]["min"] for w in results.values()),
+            "events": sum(w["events"] for w in results.values()),
+            "messages": sum(w["messages"] for w in results.values()),
+        },
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+def write_report(report: Dict[str, Any], path: PathLike) -> pathlib.Path:
+    """Write a suite report as stable, indented JSON."""
+    resolved = pathlib.Path(path)
+    if resolved.parent != pathlib.Path(""):
+        resolved.parent.mkdir(parents=True, exist_ok=True)
+    resolved.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return resolved
+
+
+def read_report(path: PathLike) -> Dict[str, Any]:
+    """Load a ``BENCH_*.json`` report, validating its schema tag."""
+    report = json.loads(pathlib.Path(path).read_text())
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench schema {schema!r} (expected {SCHEMA!r})"
+        )
+    return report
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Text summary of a suite report (the default CLI output)."""
+    from repro.experiments.common import format_table
+
+    rows = []
+    for name in sorted(report["workloads"]):
+        workload = report["workloads"][name]
+        rows.append(
+            [
+                name,
+                workload["wall_s"]["min"],
+                workload["wall_s"]["mean"],
+                workload["events"],
+                workload["messages"],
+                (
+                    f"{workload['events_per_s']:.0f}"
+                    if workload.get("events_per_s")
+                    else "-"
+                ),
+            ]
+        )
+    lines = [
+        format_table(
+            ["workload", "min_s", "mean_s", "events", "messages", "events/s"],
+            rows,
+            title=(
+                f"bench suite {report['suite']!r}: "
+                f"{report['config']['runs']} run(s) after "
+                f"{report['config']['warmup']} warmup, seed "
+                f"{report['config']['seed']}"
+            ),
+        )
+    ]
+    for name in sorted(report["workloads"]):
+        breakdown = report["workloads"][name].get("breakdown")
+        if not breakdown:
+            continue
+        phases = breakdown["phase_exclusive_s"]
+        total = sum(phases.values())
+        if total <= 0:
+            continue
+        shares = "  ".join(
+            f"{phase}={seconds / total:.0%}" for phase, seconds in phases.items()
+        )
+        overhead = breakdown["overhead"]["estimated_s"]
+        lines.append(f"{name}: {shares}  (profiler overhead ~{overhead:.4f}s)")
+    rss = report.get("peak_rss_bytes")
+    if rss:
+        lines.append(f"peak RSS: {rss / (1024 * 1024):.1f} MiB")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _count_drift(
+    name: str, old: Dict[str, Any], new: Dict[str, Any]
+) -> List[str]:
+    """Human-readable descriptions of count differences for one workload."""
+    drift: List[str] = []
+    for field in ("events", "messages"):
+        if old.get(field) != new.get(field):
+            drift.append(
+                f"{name}: {field} changed {old.get(field)} -> {new.get(field)}"
+            )
+    if old.get("counts") != new.get("counts"):
+        old_counts = old.get("counts") or {}
+        new_counts = new.get("counts") or {}
+        keys = sorted(set(old_counts) | set(new_counts))
+        changed = [
+            f"{key}: {old_counts.get(key)!r} -> {new_counts.get(key)!r}"
+            for key in keys
+            if old_counts.get(key) != new_counts.get(key)
+        ]
+        drift.append(f"{name}: counts changed ({'; '.join(changed)})")
+    return drift
+
+
+def compare(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    normalize: bool = True,
+) -> Dict[str, Any]:
+    """Diff two suite reports; flag per-workload wall-time regressions.
+
+    A workload regresses when its (optionally median-normalized) ratio of
+    ``new min / old min`` wall time exceeds ``1 + threshold``.  Count
+    drift — the same seed producing different work — is reported as a
+    warning, never a regression: determinism has its own gates, and a
+    deliberate protocol change legitimately shifts counts together with
+    times.
+
+    The result is JSON-able: ``ok`` (no regressions), ``regressions``,
+    ``warnings``, ``median_ratio``, and a per-workload table of raw and
+    normalized ratios.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    old_workloads = old.get("workloads", {})
+    new_workloads = new.get("workloads", {})
+    shared = [name for name in old_workloads if name in new_workloads]
+    warnings: List[str] = []
+    for name in sorted(set(old_workloads) - set(new_workloads)):
+        warnings.append(f"workload {name!r} missing from the new report")
+    for name in sorted(set(new_workloads) - set(old_workloads)):
+        warnings.append(f"workload {name!r} is new (no baseline)")
+    if old.get("suite") != new.get("suite"):
+        warnings.append(
+            f"comparing different suites: {old.get('suite')!r} vs "
+            f"{new.get('suite')!r}"
+        )
+
+    ratios: Dict[str, float] = {}
+    for name in shared:
+        old_min = old_workloads[name]["wall_s"]["min"]
+        new_min = new_workloads[name]["wall_s"]["min"]
+        if old_min <= 0:
+            warnings.append(f"{name}: baseline wall time is zero; skipped")
+            continue
+        ratios[name] = new_min / old_min
+        warnings.extend(_count_drift(name, old_workloads[name], new_workloads[name]))
+
+    median_ratio = _median(list(ratios.values())) if ratios else 1.0
+    scale = median_ratio if (normalize and median_ratio > 0) else 1.0
+    table: Dict[str, Any] = {}
+    regressions: List[str] = []
+    for name in sorted(ratios):
+        ratio = ratios[name]
+        normalized = ratio / scale
+        effective = normalized if normalize else ratio
+        regressed = effective > 1.0 + threshold
+        table[name] = {
+            "old_min_s": old_workloads[name]["wall_s"]["min"],
+            "new_min_s": new_workloads[name]["wall_s"]["min"],
+            "ratio": ratio,
+            "normalized_ratio": normalized,
+            "regressed": regressed,
+        }
+        if regressed:
+            regressions.append(
+                f"{name}: {effective:.2f}x slower "
+                f"({'normalized' if normalize else 'raw'}; threshold "
+                f"{1.0 + threshold:.2f}x)"
+            )
+    return {
+        "schema": SCHEMA,
+        "threshold": threshold,
+        "normalize": normalize,
+        "median_ratio": median_ratio,
+        "workloads": table,
+        "warnings": warnings,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def render_compare(result: Dict[str, Any]) -> str:
+    """Text rendering of a :func:`compare` result."""
+    from repro.experiments.common import format_table
+
+    rows = []
+    for name in sorted(result["workloads"]):
+        entry = result["workloads"][name]
+        rows.append(
+            [
+                name,
+                entry["old_min_s"],
+                entry["new_min_s"],
+                entry["ratio"],
+                entry["normalized_ratio"],
+                "REGRESSED" if entry["regressed"] else "ok",
+            ]
+        )
+    mode = "normalized" if result["normalize"] else "raw"
+    lines = [
+        format_table(
+            ["workload", "old_min_s", "new_min_s", "ratio", "norm_ratio", "verdict"],
+            rows,
+            title=(
+                f"bench comparison ({mode} ratios, threshold "
+                f"+{result['threshold']:.0%}, median ratio "
+                f"{result['median_ratio']:.3f})"
+            ),
+        )
+    ]
+    for warning in result["warnings"]:
+        lines.append(f"warning: {warning}")
+    for regression in result["regressions"]:
+        lines.append(f"REGRESSION: {regression}")
+    lines.append("ok" if result["ok"] else "FAILED: wall-time regression")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BenchDeterminismError",
+    "DEFAULT_THRESHOLD",
+    "SCHEMA",
+    "SUITES",
+    "Workload",
+    "compare",
+    "list_suites",
+    "read_report",
+    "render_compare",
+    "render_report",
+    "run_suite",
+    "run_workload",
+    "write_report",
+]

@@ -213,3 +213,45 @@ def instrument_simulator(sim: "Simulator", registry: MetricsRegistry) -> None:
     if not registry.enabled:
         return
     registry.register_collector(lambda reg: _collect_simulator(sim, reg))
+
+
+def profiler_to_registry(profiler, registry: MetricsRegistry) -> None:
+    """Mirror a :class:`~repro.obs.profiler.PhaseProfiler` into ``registry``.
+
+    Registers a pull collector (nothing touches the hot path) exporting
+    per-phase exclusive wall time and entry counts, per-kind dispatch
+    counts, and the profiler's own measured cost — so ``repro trace run
+    --profile --metrics`` ships the phase breakdown in the same
+    Prometheus text as everything else.
+    """
+    if not registry.enabled:
+        return
+
+    def collect(reg: MetricsRegistry) -> None:
+        for phase, seconds in profiler.phase_exclusive_s.items():
+            reg.counter(
+                "repro_profile_phase_seconds",
+                "exclusive wall seconds attributed to a hot-path phase",
+                phase=phase,
+            ).set_total(seconds)
+            reg.counter(
+                "repro_profile_phase_entries",
+                "times the phase was entered",
+                phase=phase,
+            ).set_total(profiler.phase_counts.get(phase, 0))
+        for kind, count in profiler.dispatch_by_kind.items():
+            reg.counter(
+                "repro_profile_dispatches",
+                "event-loop callbacks executed, by callback qualname",
+                kind=kind,
+            ).set_total(count)
+        reg.counter(
+            "repro_profile_clock_pairs",
+            "enter/exit clock-read pairs the profiler performed",
+        ).set_total(profiler.clock_pairs)
+        reg.gauge(
+            "repro_profile_overhead_seconds",
+            "calibrated estimate of the profiler's own wall-time cost",
+        ).set(profiler.estimated_overhead_s())
+
+    registry.register_collector(collect)

@@ -1,0 +1,287 @@
+"""Low-overhead self-profiling of the simulator hot path.
+
+A :class:`PhaseProfiler` attributes the simulator's *wall-clock* time to
+the phases of the pipeline that spend it:
+
+* ``dispatch`` — event-loop callback execution (heap pop to return),
+  exclusive of the deeper phases below;
+* ``sequencing`` — sequencing-node atom visits, including forwarding and
+  distribution sends (:meth:`SequencingNodeProcess.process_at`);
+* ``delivery`` — the receiver-side deliver-or-buffer decision and
+  hold-back drain (:meth:`HostProcess.handle`);
+* ``trace`` — observability's own cost: :meth:`Trace.record` body plus
+  every trace subscriber (the metrics hooks run there).
+
+Phases nest (``sequencing`` runs inside ``dispatch``; ``trace`` inside
+either), so the profiler keeps a stack and accumulates **exclusive** time:
+a phase is charged only for the time not already charged to a deeper
+phase.  Summing ``phase_exclusive_s`` therefore never double-counts.
+
+Alongside wall time — which varies run to run — the profiler counts
+per-event-kind dispatches and per-phase entries.  The counts are a pure
+function of the simulation seed, which is what the bench harness's
+determinism gate checks, and what lets two ``BENCH_*.json`` files from
+different machines be compared at all.
+
+The profiler never feeds the simulation: it reads the wall clock, bumps
+Python ints and floats, and nothing else, so enabling it cannot change
+simulation outcomes.  The cost of the profiler itself is measured: every
+``enter``/``exit`` pair costs two clock reads, the per-pair cost is
+calibrated at construction, and :meth:`estimated_overhead_s` reports the
+total so ``repro bench`` can say what ``repro.obs`` costs.
+
+Wall-clock reads are confined to :func:`read_wall_clock` — the one
+sanctioned sampling shim.  This module is listed in simlint's
+simulation-critical scope, so any other wall-clock read here (or in
+:mod:`repro.obs.bench`) is an SL101 error.
+
+:data:`NULL_PROFILER` is the disabled-mode null object, matching
+:data:`repro.obs.registry.NULL_REGISTRY`: every method is a no-op, so call
+sites can hold a profiler unconditionally.  The hot-path call sites in
+:mod:`repro.sim` / :mod:`repro.core` additionally guard on ``enabled`` so
+the disabled path costs one attribute check, like ``trace.enabled``.
+"""
+
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Profiled phase names, in reporting order.
+PROFILE_PHASES = ("dispatch", "sequencing", "delivery", "trace")
+
+#: enter/exit pairs timed at construction to estimate the clock cost
+CALIBRATION_PAIRS = 2000
+
+
+def read_wall_clock() -> float:
+    """The profiler's single sanctioned wall-clock read (sampling shim).
+
+    Every timing in this package flows through here; simulation code must
+    never read the host clock directly (simlint SL101 enforces this, and
+    this module is inside its enforcement scope).
+    """
+    # simlint: disable=SL101 -- the sampling shim: wall time is the measured quantity
+    return perf_counter()
+
+
+class PhaseProfiler:
+    """Attributes hot-path wall time to pipeline phases (see module doc).
+
+    Parameters
+    ----------
+    sample_every:
+        When positive, every Nth event dispatch appends a cumulative
+        ``(virtual_time, {phase: seconds})`` sample to :attr:`samples` —
+        the series behind the Chrome-trace counter track and the
+        Prometheus phase gauges.  The *number* of samples is deterministic
+        (it depends only on the dispatch count); the values are wall time.
+    """
+
+    __slots__ = (
+        "enabled",
+        "phase_exclusive_s",
+        "phase_counts",
+        "dispatch_by_kind",
+        "sample_every",
+        "samples",
+        "clock_pairs",
+        "seconds_per_clock_pair",
+        "_stack",
+        "_dispatches_since_sample",
+    )
+
+    def __init__(self, sample_every: int = 4096):
+        self.enabled = True
+        #: exclusive wall seconds per phase (nested phases subtracted)
+        self.phase_exclusive_s: Dict[str, float] = {p: 0.0 for p in PROFILE_PHASES}
+        #: times each phase was entered (deterministic per seed)
+        self.phase_counts: Dict[str, int] = {p: 0 for p in PROFILE_PHASES}
+        #: executed-callback counts keyed by callback qualname
+        self.dispatch_by_kind: Dict[str, int] = {}
+        self.sample_every = sample_every
+        #: cumulative (virtual_time, {phase: exclusive seconds}) samples
+        self.samples: List[Tuple[float, Dict[str, float]]] = []
+        #: enter/exit pairs executed — the profiler's own work
+        self.clock_pairs = 0
+        #: calibrated cost of one enter/exit pair on this machine
+        self.seconds_per_clock_pair = _calibrate_clock_pair()
+        # stack frames: [phase, start, child_seconds]
+        self._stack: List[List[Any]] = []
+        self._dispatches_since_sample = 0
+
+    # -- hot-path API ----------------------------------------------------
+
+    def enter(self, phase: str) -> None:
+        """Begin attributing wall time to ``phase`` (re-entrant, stacked)."""
+        self._stack.append([phase, read_wall_clock(), 0.0])
+
+    def exit(self) -> None:
+        """End the innermost phase, charging it its exclusive time."""
+        phase, start, child_s = self._stack.pop()
+        elapsed = read_wall_clock() - start
+        self.phase_exclusive_s[phase] += elapsed - child_s
+        self.phase_counts[phase] += 1
+        self.clock_pairs += 1
+        if self._stack:
+            self._stack[-1][2] += elapsed
+
+    def dispatch_begin(self, callback: Callable) -> None:
+        """Count and start timing one event-loop callback execution."""
+        kind = getattr(callback, "__qualname__", None) or type(callback).__name__
+        by_kind = self.dispatch_by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        self.enter("dispatch")
+
+    def dispatch_end(self, virtual_now: float) -> None:
+        """Finish timing a callback; emit a cumulative sample every Nth."""
+        self.exit()
+        if self.sample_every > 0:
+            self._dispatches_since_sample += 1
+            if self._dispatches_since_sample >= self.sample_every:
+                self._dispatches_since_sample = 0
+                self.take_sample(virtual_now)
+
+    # -- reporting -------------------------------------------------------
+
+    def take_sample(self, virtual_now: float) -> None:
+        """Append a cumulative phase-time sample at ``virtual_now``."""
+        self.samples.append((virtual_now, dict(self.phase_exclusive_s)))
+
+    def dispatches(self) -> int:
+        """Total callbacks executed under the profiler."""
+        return sum(self.dispatch_by_kind.values())
+
+    def estimated_overhead_s(self) -> float:
+        """Wall seconds the profiler itself cost (calibrated estimate)."""
+        return self.clock_pairs * self.seconds_per_clock_pair
+
+    def counts(self) -> Dict[str, Any]:
+        """The deterministic slice of the profile: counts only, no timings.
+
+        Two same-seed runs must produce identical ``counts()`` — the bench
+        harness and the determinism tests rely on it.
+        """
+        return {
+            "phase_counts": {p: self.phase_counts[p] for p in PROFILE_PHASES},
+            "dispatch_by_kind": dict(sorted(self.dispatch_by_kind.items())),
+            "dispatches": self.dispatches(),
+            "samples": len(self.samples),
+        }
+
+    def breakdown(self) -> Dict[str, Any]:
+        """Full JSON-able profile: counts plus wall-time attribution."""
+        return {
+            "phase_exclusive_s": {
+                p: self.phase_exclusive_s[p] for p in PROFILE_PHASES
+            },
+            "phase_counts": {p: self.phase_counts[p] for p in PROFILE_PHASES},
+            "dispatch_by_kind": dict(sorted(self.dispatch_by_kind.items())),
+            "overhead": {
+                "clock_pairs": self.clock_pairs,
+                "seconds_per_clock_pair": self.seconds_per_clock_pair,
+                "estimated_s": self.estimated_overhead_s(),
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable phase table (the ``repro trace --profile`` view)."""
+        total = sum(self.phase_exclusive_s.values())
+        lines = ["phase        excl. wall s   entries      share"]
+        for phase in PROFILE_PHASES:
+            seconds = self.phase_exclusive_s[phase]
+            share = seconds / total if total > 0 else 0.0
+            lines.append(
+                f"{phase:<12} {seconds:>12.6f} {self.phase_counts[phase]:>9} "
+                f"{share:>9.1%}"
+            )
+        lines.append(
+            f"profiler overhead ~{self.estimated_overhead_s():.6f}s "
+            f"({self.clock_pairs} clock pairs)"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PhaseProfiler dispatches={self.dispatches()} "
+            f"wall={sum(self.phase_exclusive_s.values()):.6f}s>"
+        )
+
+
+def _calibrate_clock_pair(pairs: int = CALIBRATION_PAIRS) -> float:
+    """Measure the cost of one ``enter``/``exit``-style clock-read pair."""
+    start = read_wall_clock()
+    for _ in range(pairs):
+        read_wall_clock()
+        read_wall_clock()
+    elapsed = read_wall_clock() - start
+    return elapsed / pairs if pairs > 0 else 0.0
+
+
+class _NullProfiler:
+    """Disabled-mode stand-in, mirroring ``NULL_REGISTRY``'s contract.
+
+    Every method is a no-op and every reported structure is empty, so
+    fully profiled code runs essentially unprofiled.  Hot-path call sites
+    still guard on :attr:`enabled` to skip even argument evaluation.
+    """
+
+    __slots__ = ()
+    enabled = False
+    phase_exclusive_s: Dict[str, float] = {}
+    phase_counts: Dict[str, int] = {}
+    dispatch_by_kind: Dict[str, int] = {}
+    samples: List[Tuple[float, Dict[str, float]]] = []
+    clock_pairs = 0
+    seconds_per_clock_pair = 0.0
+
+    def enter(self, phase: str) -> None:
+        pass
+
+    def exit(self) -> None:
+        pass
+
+    def dispatch_begin(self, callback: Callable) -> None:
+        pass
+
+    def dispatch_end(self, virtual_now: float) -> None:
+        pass
+
+    def take_sample(self, virtual_now: float) -> None:
+        pass
+
+    def dispatches(self) -> int:
+        return 0
+
+    def estimated_overhead_s(self) -> float:
+        return 0.0
+
+    def counts(self) -> Dict[str, Any]:
+        return {}
+
+    def breakdown(self) -> Dict[str, Any]:
+        return {}
+
+    def render(self) -> str:
+        return "(profiling disabled)"
+
+
+#: Shared disabled profiler: attach this when no profile was requested so
+#: instrumented code needs no ``if profiler is not None`` branches.
+NULL_PROFILER = _NullProfiler()
+
+
+def maybe_profiler(enabled: bool, sample_every: int = 4096):
+    """A :class:`PhaseProfiler` when ``enabled``, else :data:`NULL_PROFILER`."""
+    return PhaseProfiler(sample_every=sample_every) if enabled else NULL_PROFILER
+
+
+#: Either a real profiler or the null object — what call sites accept.
+ProfilerLike = Any
+
+__all__ = [
+    "NULL_PROFILER",
+    "PROFILE_PHASES",
+    "PhaseProfiler",
+    "ProfilerLike",
+    "maybe_profiler",
+    "read_wall_clock",
+]

@@ -14,7 +14,10 @@ costs two clock reads per *sampled* event only.
 
 import heapq
 from time import perf_counter
-from typing import Any, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids obs coupling
+    from repro.obs.profiler import PhaseProfiler
 
 
 class SimulationError(RuntimeError):
@@ -102,6 +105,11 @@ class Simulator:
         #: wall-clock seconds spent inside sampled callbacks
         self.callback_wall_time: float = 0.0
         self.callbacks_sampled: int = 0
+        #: optional phase profiler (see :mod:`repro.obs.profiler`); when
+        #: attached and enabled, every callback is timed and counted by
+        #: kind.  All clock reads happen inside the profiler's sampling
+        #: shim — this loop only calls its hooks.
+        self.profiler: Optional["PhaseProfiler"] = None
 
     def schedule(self, delay: float, callback: Callable, *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` time units from now.
@@ -150,7 +158,14 @@ class Simulator:
             )
         self.now = event.time
         self.events_executed += 1
-        if self.profile_every and self.events_executed % self.profile_every == 0:
+        profiler = self.profiler
+        if profiler is not None and profiler.enabled:
+            # Phase attribution: the whole callback is "dispatch"; deeper
+            # phases (sequencing/delivery/trace) subtract themselves.
+            profiler.dispatch_begin(event.callback)
+            event.callback(*event.args)
+            profiler.dispatch_end(self.now)
+        elif self.profile_every and self.events_executed % self.profile_every == 0:
             # Sampling profiler: wall time spent inside the callback is
             # recorded for diagnostics and never feeds virtual time.
             # simlint: disable=SL101 -- wall-time accounting only

@@ -1,0 +1,189 @@
+"""``repro bench``: suite reports, determinism gate, regression compare."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs import bench
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return bench.run_suite("smoke", runs=2, warmup=0, seed=0)
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(KeyError):
+        bench.run_suite("nope")
+
+
+def test_report_schema_and_sections(smoke_report):
+    assert smoke_report["schema"] == bench.SCHEMA
+    assert smoke_report["suite"] == "smoke"
+    assert smoke_report["config"]["runs"] == 2
+    workloads = smoke_report["workloads"]
+    assert set(workloads) == {"holdback_micro", "chaos_campaign"}
+    for workload in workloads.values():
+        assert len(workload["wall_s"]["reps"]) == 2
+        assert workload["wall_s"]["min"] <= workload["wall_s"]["mean"]
+        assert workload["events"] >= 0
+        assert workload["counts"]
+        assert "gc" in workload
+        # profiling on by default: breakdown with measured self-cost
+        assert workload["breakdown"]["overhead"]["estimated_s"] >= 0
+    chaos = workloads["chaos_campaign"]
+    assert chaos["events"] > 0
+    assert chaos["counts"]["quiescent"] is True
+    assert chaos["breakdown"]["phase_exclusive_s"]["sequencing"] > 0
+
+
+def test_counts_deterministic_across_suite_runs(smoke_report):
+    again = bench.run_suite("smoke", runs=2, warmup=0, seed=0)
+    for name, workload in smoke_report["workloads"].items():
+        other = again["workloads"][name]
+        assert workload["events"] == other["events"]
+        assert workload["messages"] == other["messages"]
+        assert workload["counts"] == other["counts"]
+
+
+def test_no_profile_omits_breakdowns():
+    report = bench.run_suite("smoke", runs=1, warmup=0, profile=False)
+    for workload in report["workloads"].values():
+        assert "breakdown" not in workload
+
+
+def test_determinism_gate_trips_on_drifting_workload():
+    drifting = {"calls": 0}
+
+    def fn(seed, profiler):
+        drifting["calls"] += 1
+        return {"events": drifting["calls"], "messages": 0, "counts": {}}
+
+    workload = bench.Workload("drifter", "returns different counts", fn)
+    with pytest.raises(bench.BenchDeterminismError):
+        bench.run_workload(workload, runs=2, warmup=0, profile=False)
+
+
+def test_report_round_trips_and_self_compare_is_clean(smoke_report, tmp_path):
+    path = bench.write_report(smoke_report, tmp_path / "BENCH_smoke.json")
+    loaded = bench.read_report(path)
+    assert loaded == json.loads(json.dumps(smoke_report))
+    result = bench.compare(loaded, loaded)
+    assert result["ok"]
+    assert not result["regressions"]
+    assert not result["warnings"]
+    assert all(
+        entry["ratio"] == 1.0 for entry in result["workloads"].values()
+    )
+    rendered = bench.render_compare(result)
+    assert "ok" in rendered and "REGRESSED" not in rendered
+
+
+def test_read_report_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "other/9"}))
+    with pytest.raises(ValueError):
+        bench.read_report(path)
+
+
+def test_injected_slowdown_is_a_regression(smoke_report):
+    slow = copy.deepcopy(smoke_report)
+    wall = slow["workloads"]["chaos_campaign"]["wall_s"]
+    wall["min"] *= 2.0
+    wall["mean"] *= 2.0
+    wall["reps"] = [r * 2.0 for r in wall["reps"]]
+    # absolute mode: the doubled workload trips the 25% gate directly
+    result = bench.compare(smoke_report, slow, threshold=0.25, normalize=False)
+    assert not result["ok"]
+    assert any("chaos_campaign" in r for r in result["regressions"])
+    assert "REGRESSION" in bench.render_compare(result)
+    # a uniformly 2x-slower "machine" is NOT a regression when normalized
+    for workload in slow["workloads"].values():
+        workload["wall_s"]["min"] = workload["wall_s"]["min"] * 2.0
+    uniform = copy.deepcopy(smoke_report)
+    for workload in uniform["workloads"].values():
+        workload["wall_s"]["min"] *= 3.0
+    assert bench.compare(smoke_report, uniform, normalize=True)["ok"]
+    assert not bench.compare(smoke_report, uniform, normalize=False)["ok"]
+
+
+def test_count_drift_warns_but_does_not_fail(smoke_report):
+    drifted = copy.deepcopy(smoke_report)
+    drifted["workloads"]["chaos_campaign"]["counts"]["delivered"] += 1
+    result = bench.compare(smoke_report, drifted)
+    assert result["ok"]
+    assert any("counts changed" in w for w in result["warnings"])
+
+
+def test_missing_workload_warns(smoke_report):
+    partial = copy.deepcopy(smoke_report)
+    del partial["workloads"]["holdback_micro"]
+    result = bench.compare(smoke_report, partial)
+    assert any("missing" in w for w in result["warnings"])
+
+
+def test_obs_overhead_workload_reports_ratio():
+    workload = next(
+        w for w in bench.SUITES["quick"] if w.name == "obs_overhead"
+    )
+    report = bench.run_workload(workload, runs=1, warmup=0, profile=True)
+    extra = report["extra"]
+    assert extra["bare_s"] > 0
+    assert extra["instrumented_s"] > 0
+    assert extra["overhead_ratio"] == pytest.approx(
+        extra["instrumented_s"] / extra["bare_s"]
+    )
+
+
+def test_list_suites_names_everything():
+    catalog = bench.list_suites()
+    for suite in bench.SUITES:
+        assert suite in catalog
+    assert "holdback_micro" in catalog
+
+
+def test_cli_round_trip(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "BENCH_smoke.json"
+    assert (
+        main(
+            [
+                "bench",
+                "--suite",
+                "smoke",
+                "--runs",
+                "1",
+                "--warmup",
+                "0",
+                "--out",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    assert out.exists()
+    assert (
+        main(["bench", "--compare", str(out), str(out), "--threshold", "0.25"])
+        == 0
+    )
+    text = capsys.readouterr().out
+    assert "bench comparison" in text
+    assert main(["bench", "--list"]) == 0
+
+
+def test_cli_compare_detects_injected_slowdown(tmp_path, capsys):
+    from repro.cli import main
+
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    report = bench.run_suite("smoke", runs=1, warmup=0)
+    bench.write_report(report, old)
+    slow = copy.deepcopy(report)
+    slow["workloads"]["holdback_micro"]["wall_s"]["min"] *= 4.0
+    bench.write_report(slow, new)
+    assert (
+        main(["bench", "--compare", str(old), str(new), "--absolute"]) == 1
+    )
+    assert "REGRESSION" in capsys.readouterr().out

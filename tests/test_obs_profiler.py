@@ -1,0 +1,177 @@
+"""Hot-path phase profiler: determinism, outcome invariance, exports."""
+
+import json
+
+from repro.experiments.common import ExperimentEnv
+from repro.faults.campaign import ChaosConfig, execute_campaign
+from repro.obs import exporters
+from repro.obs.forensics import JourneyIndex
+from repro.obs.hooks import profiler_to_registry
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    PROFILE_PHASES,
+    PhaseProfiler,
+    maybe_profiler,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.resources import (
+    GcPauseSampler,
+    peak_rss_bytes,
+    register_process_collectors,
+)
+
+SNAPSHOT = {
+    0: frozenset({0, 1, 2, 3}),
+    1: frozenset({0, 1}),
+    2: frozenset({2, 3, 4}),
+}
+
+
+def _run_fabric(profiler, seed=0, trace=False):
+    env = ExperimentEnv(n_hosts=5, seed=seed)
+    fabric = env.build_fabric(
+        env.membership_from(SNAPSHOT), seed=seed, trace=trace, profiler=profiler
+    )
+    for sender, group in ((0, 0), (2, 2), (1, 1), (3, 0), (0, 1), (4, 2)):
+        fabric.publish(sender, group)
+    fabric.run()
+    assert not fabric.pending_messages()
+    return fabric
+
+
+def test_counts_deterministic_across_same_seed_runs():
+    first = PhaseProfiler()
+    second = PhaseProfiler()
+    _run_fabric(first)
+    _run_fabric(second)
+    assert first.counts() == second.counts()
+    assert first.dispatches() > 0
+    assert first.phase_counts["dispatch"] == first.dispatches()
+    # counts() must be timing-free: identical dict, not just equal floats
+    assert json.dumps(first.counts(), sort_keys=True) == json.dumps(
+        second.counts(), sort_keys=True
+    )
+
+
+def test_dispatch_kinds_are_qualnames_not_reprs():
+    profiler = PhaseProfiler()
+    _run_fabric(profiler)
+    for kind in profiler.counts()["dispatch_by_kind"]:
+        assert "0x" not in kind, f"memory address leaked into kind {kind!r}"
+
+
+def test_profiler_does_not_change_simulation_outcomes():
+    bare = _run_fabric(None, trace=True)
+    profiled = _run_fabric(PhaseProfiler(), trace=True)
+    assert bare.sim.events_executed == profiled.sim.events_executed
+    assert len(bare.trace) == len(profiled.trace)
+    for host in range(5):
+        assert [r.msg_id for r in bare.delivered(host)] == [
+            r.msg_id for r in profiled.delivered(host)
+        ]
+
+
+def test_profiler_does_not_change_forensics_output():
+    """The `repro explain` view is identical with and without profiling."""
+    config = ChaosConfig(hosts=12, groups=4, events=20, seed=3, horizon=150.0)
+    bare = execute_campaign(config)
+    profiled = execute_campaign(config, profiler=PhaseProfiler())
+    assert bare.report == profiled.report
+    bare_stalls = JourneyIndex(bare.fabric.trace).stall_report(threshold=0.0)
+    prof_stalls = JourneyIndex(profiled.fabric.trace).stall_report(threshold=0.0)
+    assert bare_stalls == prof_stalls
+
+
+def test_exclusive_times_nest_without_double_counting():
+    profiler = PhaseProfiler()
+    _run_fabric(profiler, trace=True)
+    total = sum(profiler.phase_exclusive_s.values())
+    assert total > 0
+    for phase in PROFILE_PHASES:
+        assert profiler.phase_exclusive_s[phase] >= 0
+    # deeper phases fired inside dispatch, so they were entered at least once
+    assert profiler.phase_counts["sequencing"] > 0
+    assert profiler.phase_counts["delivery"] > 0
+    assert profiler.phase_counts["trace"] > 0
+    # every enter/exit pair was tallied toward the profiler's own cost
+    assert profiler.clock_pairs == sum(profiler.phase_counts.values())
+    assert profiler.estimated_overhead_s() >= 0
+    assert profiler.breakdown()["overhead"]["estimated_s"] >= 0
+
+
+def test_null_profiler_is_inert_and_disabled():
+    assert not NULL_PROFILER.enabled
+    NULL_PROFILER.enter("dispatch")
+    NULL_PROFILER.exit()
+    NULL_PROFILER.dispatch_begin(print)
+    NULL_PROFILER.dispatch_end(0.0)
+    assert NULL_PROFILER.dispatches() == 0
+    assert NULL_PROFILER.counts() == {}
+    assert NULL_PROFILER.breakdown() == {}
+    assert maybe_profiler(False) is NULL_PROFILER
+    assert isinstance(maybe_profiler(True), PhaseProfiler)
+
+
+def test_disabled_profiler_adds_no_trace_records_or_events():
+    bare = _run_fabric(None, trace=True)
+    with_null = _run_fabric(NULL_PROFILER, trace=True)
+    assert len(bare.trace) == len(with_null.trace)
+    assert bare.sim.events_executed == with_null.sim.events_executed
+    assert NULL_PROFILER.clock_pairs == 0
+
+
+def test_sampling_emits_counter_events():
+    profiler = PhaseProfiler(sample_every=8)
+    fabric = _run_fabric(profiler, trace=True)
+    assert len(profiler.samples) > 0
+    doc = exporters.trace_to_chrome(fabric.trace, profiler=profiler)
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert len(counters) == len(profiler.samples)
+    for event in counters:
+        assert event["pid"] == exporters.PROFILER_PID
+        assert set(event["args"]) == set(PROFILE_PHASES)
+    # sample count is part of the deterministic slice
+    assert profiler.counts()["samples"] == len(profiler.samples)
+
+
+def test_profiler_to_registry_exports_phases_and_dispatches():
+    profiler = PhaseProfiler()
+    _run_fabric(profiler, trace=True)
+    registry = MetricsRegistry()
+    profiler_to_registry(profiler, registry)
+    registry.collect()
+    text = exporters.registry_to_prometheus(registry)
+    assert "repro_profile_phase_seconds" in text
+    assert 'phase="sequencing"' in text
+    assert "repro_profile_dispatches" in text
+    assert "repro_profile_overhead_seconds" in text
+
+
+def test_process_collectors_export_rss_and_gc():
+    rss = peak_rss_bytes()
+    assert rss is None or rss > 0
+    registry = MetricsRegistry()
+    sampler = GcPauseSampler()
+    register_process_collectors(registry, sampler=sampler)
+    with sampler:
+        import gc
+
+        gc.collect()
+    if sampler.supported:
+        assert sampler.pauses >= 1
+        assert sampler.pause_seconds >= 0
+    text = exporters.registry_to_prometheus(registry)
+    assert "repro_gc_collections" in text
+    assert "repro_gc_pauses" in text
+    if rss is not None:
+        assert "repro_process_peak_rss_bytes" in text
+
+
+def test_render_is_humane():
+    profiler = PhaseProfiler()
+    _run_fabric(profiler)
+    rendered = profiler.render()
+    for phase in PROFILE_PHASES:
+        assert phase in rendered
+    assert "overhead" in rendered
+    assert NULL_PROFILER.render() == "(profiling disabled)"
