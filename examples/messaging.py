@@ -11,20 +11,24 @@ subscriber sees question before answer.
 
 Run::
 
-    python examples/messaging.py
+    python examples/messaging.py                     # simulator backend
+    python examples/messaging.py --backend asyncio   # live event loop
 """
 
 import random
+import sys
 
 from repro import OrderedPubSub
 from repro.workloads.scenarios import MessagingScenario
 
 
 def main() -> None:
+    backend = "asyncio" if "--backend" in sys.argv and "asyncio" in sys.argv else "sim"
+    kwargs = {"backend": "asyncio", "time_scale": 1e-6} if backend == "asyncio" else {}
     scenario = MessagingScenario(n_users=20, n_rooms=5, rng=random.Random(11))
     membership = scenario.membership()
 
-    bus = OrderedPubSub(n_hosts=scenario.n_users, seed=11)
+    bus = OrderedPubSub(n_hosts=scenario.n_users, seed=11, **kwargs)
     for group, people in membership.items():
         bus.create_group(people, group_id=group)
 
@@ -53,7 +57,9 @@ def main() -> None:
         status = "ok" if q < a else "VIOLATION"
         print(f"  user {user}: question at {q}, answer at {a} -> {status}")
         assert q < a, "causal order violated"
-    print("causal order (question before answer) verified for all members")
+    print(f"causal order (question before answer) verified for all members "
+          f"[{backend} backend]")
+    bus.close()
 
 
 if __name__ == "__main__":

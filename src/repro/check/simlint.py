@@ -53,6 +53,7 @@ TOOL = "simlint"
 SIM_SCOPED_PREFIXES = (
     "repro.sim",
     "repro.core",
+    "repro.runtime",
     "repro.obs.profiler",
     "repro.obs.bench",
 )

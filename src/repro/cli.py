@@ -2,7 +2,9 @@
 
 Subcommands::
 
-    repro demo                       # tiny end-to-end ordering demo
+    repro demo [--backend asyncio]   # tiny end-to-end ordering demo
+    repro serve [--port 7400]        # live asyncio TCP service façade
+    repro serve --self-test          # scripted live round trip + C1/C2
     repro figures --figures 3 5      # reproduce paper figures (see runner)
     repro analyze --hosts 64 --groups 16 [--dot out.dot]
                                      # build a Zipf workload and report the
@@ -52,7 +54,13 @@ from repro.workloads.zipf import zipf_membership
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    bus = OrderedPubSub(n_hosts=8, seed=args.seed)
+    backend = getattr(args, "backend", "sim")
+    kwargs = {}
+    if backend == "asyncio":
+        # Virtual milliseconds shrink to microseconds of wall time so the
+        # demo finishes promptly while still exercising live timers.
+        kwargs = {"backend": "asyncio", "time_scale": 1e-6}
+    bus = OrderedPubSub(n_hosts=8, seed=args.seed, **kwargs)
     for user in (0, 1, 3):
         bus.subscribe(user, "blue")
     for user in (1, 2, 3):
@@ -68,8 +76,41 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     b = [r.msg_id for r in bus.delivered(3)]
     common = set(a) & set(b)
     agreed = [m for m in a if m in common] == [m for m in b if m in common]
+    print(f"backend: {backend}")
     print(f"overlap members agree on order: {agreed}")
+    bus.close()
     return 0 if agreed else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime import service
+
+    if args.self_test:
+        failures = asyncio.run(
+            service.run_self_test(
+                n_hosts=args.hosts, seed=args.seed, loss_rate=args.loss_rate
+            )
+        )
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        print("serve self-test:", "FAIL" if failures else "PASS")
+        return 1 if failures else 0
+    try:
+        asyncio.run(
+            service.serve(
+                n_hosts=args.hosts,
+                seed=args.seed,
+                loss_rate=args.loss_rate,
+                time_scale=args.time_scale,
+                host=args.host,
+                port=args.port,
+            )
+        )
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down")
+    return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -423,7 +464,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="tiny end-to-end ordering demo")
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--backend", choices=("sim", "asyncio"), default="sim",
+        help="runtime backend: deterministic simulator (default) or the "
+        "live asyncio event loop",
+    )
     demo.set_defaults(func=_cmd_demo)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the ordering fabric as a live asyncio TCP service",
+    )
+    serve.add_argument("--hosts", type=int, default=8)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--loss-rate", type=float, default=0.0)
+    serve.add_argument(
+        "--time-scale", type=float, default=1e-5,
+        help="real seconds per virtual millisecond (default: 1e-5)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = ephemeral, printed on startup)",
+    )
+    serve.add_argument(
+        "--self-test", action="store_true",
+        help="boot on an ephemeral port, run a scripted publish/subscribe "
+        "round trip with live C1/C2 verification, then shut down",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     figures = sub.add_parser(
         "figures", help="reproduce paper figures (args passed through)"

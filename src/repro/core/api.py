@@ -27,6 +27,7 @@ import random
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Union
 
 from repro.core.protocol import DeliveryRecord, OrderingFabric
+from repro.runtime.interfaces import RuntimeBackend
 from repro.pubsub.broker import SubscriptionBroker
 from repro.pubsub.membership import GroupMembership
 from repro.topology.clusters import Host, attach_hosts
@@ -39,7 +40,10 @@ class OrderingViolation(RuntimeError):
 
 
 class OrderedPubSub:
-    """A simulated publish/subscribe system with cross-group ordering.
+    """A publish/subscribe system with cross-group total ordering.
+
+    Runs on the discrete-event simulator by default, or live on asyncio
+    tasks with ``backend="asyncio"`` — same protocol, same API.
 
     Parameters
     ----------
@@ -60,6 +64,15 @@ class OrderedPubSub:
         member of raises :class:`OrderingViolation` — the paper's causal
         ordering requires senders to subscribe to the groups they send to.
         Pass False to allow decoupled (consistent but not causal) sends.
+    backend:
+        Runtime backend: ``"sim"`` (default; discrete-event simulation,
+        byte-identical to the pre-split behavior) or ``"asyncio"`` (the
+        live runtime — processes run as asyncio tasks; see
+        :mod:`repro.runtime.asyncio_backend`).
+    time_scale:
+        Real seconds per virtual millisecond for the asyncio backend
+        (ignored under ``"sim"``).  Small values run live scenarios much
+        faster than real time.
     """
 
     def __init__(
@@ -71,11 +84,17 @@ class OrderedPubSub:
         optimize: str = "greedy",
         enforce_causal_sends: bool = True,
         cluster_size: int = 8,
+        backend: str = "sim",
+        time_scale: float = 0.001,
     ):
+        if backend not in ("sim", "asyncio"):
+            raise ValueError(f"unknown backend {backend!r} (sim|asyncio)")
         self.seed = seed
         self.loss_rate = loss_rate
         self.optimize = optimize
         self.enforce_causal_sends = enforce_causal_sends
+        self.backend = backend
+        self.time_scale = time_scale
         rng = random.Random(seed)
         self.topology: Topology = generate_transit_stub(
             topology_params or TransitStubParams.small(), seed=seed
@@ -169,9 +188,35 @@ class OrderedPubSub:
                 seed=self.seed,
                 loss_rate=self.loss_rate,
                 optimize=self.optimize,
+                runtime=self._make_runtime(),
             )
         self._fabric.on_deliver = self._dispatch_deliver
         self._dirty = False
+
+    def _make_runtime(self) -> Optional[RuntimeBackend]:
+        """First-epoch runtime for the selected backend.
+
+        Returns ``None`` for ``"sim"`` so the fabric builds its own
+        :class:`~repro.runtime.sim_backend.SimTransport` exactly as it
+        always has (fixed-seed byte-identity).  Later epochs come from
+        ``runtime.successor`` inside :func:`repro.core.reconfigure.
+        reconfigure`, so the backend kind is sticky across membership
+        changes.
+        """
+        if self.backend == "sim":
+            return None
+        from repro.runtime.asyncio_backend import AsyncioTransport
+
+        return AsyncioTransport(
+            seed=self.seed,
+            loss_rate=self.loss_rate,
+            time_scale=self.time_scale,
+        )
+
+    def close(self) -> None:
+        """Release the current fabric's runtime resources (idempotent)."""
+        if self._fabric is not None:
+            self._fabric.runtime.close()
 
     # -- messaging -------------------------------------------------------------
 

@@ -1,8 +1,16 @@
-"""The ordering protocol runtime over the discrete-event simulator.
+"""The ordering protocol core, runnable on any runtime backend.
 
 This module wires the static artifacts — membership matrix, sequencing
-graph, placement — into running simulation processes implementing the
-paper's three phases:
+graph, placement — into running processes implementing the paper's three
+phases.  The processes depend only on the narrow runtime interface
+(:mod:`repro.runtime.interfaces`): a node handle for clock + timers and a
+transport for FIFO channels.  By default a fabric runs on the
+discrete-event simulator (:class:`~repro.runtime.sim_backend.SimTransport`,
+byte-identical to the pre-split behavior on fixed seeds); pass
+``runtime=AsyncioTransport(...)`` to run the identical protocol live on
+asyncio tasks (see :mod:`repro.runtime.asyncio_backend`).
+
+The three phases:
 
 * **ingress** — a publisher host sends its message to the sequencing node
   hosting the destination group's ingress atom;
@@ -38,10 +46,11 @@ from repro.core.messages import ATOM_ENTRY_BYTES, HEADER_BYTES, AtomId, Message,
 from repro.core.placement import Placement, place
 from repro.core.sequencing_graph import SequencingGraph
 from repro.pubsub.membership import GroupMembership
-from repro.sim.events import SimulationError, Simulator
-from repro.sim.network import Channel, Network
-from repro.sim.processes import Process
-from repro.sim.trace import Trace
+from repro.runtime.errors import SimulationError
+from repro.runtime.interfaces import Link, NodeHandle, RuntimeBackend
+from repro.runtime.node import Process
+from repro.runtime.sim_backend import SimTransport
+from repro.runtime.trace import Trace
 from repro.topology.clusters import Host
 from repro.topology.gtitm import Topology
 from repro.topology.routing import RoutingTable
@@ -250,12 +259,12 @@ class HostProcess(Process):
 
     def __init__(
         self,
-        sim: Simulator,
+        node: NodeHandle,
         host: Host,
         fabric: "OrderingFabric",
         delivery: DeliveryState,
     ):
-        super().__init__(sim, ("host", host.host_id))
+        super().__init__(node, ("host", host.host_id))
         self.host = host
         self.fabric = fabric
         self.delivery = delivery
@@ -298,7 +307,7 @@ class HostProcess(Process):
         """Whether the host is currently refusing traffic."""
         return self.sim.now < self._crashed_until
 
-    def receive(self, payload: Any, channel: Channel) -> None:
+    def receive(self, payload: Any, channel: Link) -> None:
         if self.is_down:
             return
         for packet in self.fabric._link_receive(self, payload, channel):
@@ -422,13 +431,13 @@ class SequencingNodeProcess(Process):
 
     def __init__(
         self,
-        sim: Simulator,
+        node: NodeHandle,
         node_id: int,
         machine: int,
         atom_runtimes: Dict[AtomId, AtomRuntime],
         fabric: "OrderingFabric",
     ):
-        super().__init__(sim, ("seq", node_id))
+        super().__init__(node, ("seq", node_id))
         self.node_id = node_id
         self.machine = machine
         self.atom_runtimes = atom_runtimes
@@ -477,7 +486,7 @@ class SequencingNodeProcess(Process):
         """Whether the node is currently refusing traffic."""
         return self.sim.now < self._crashed_until
 
-    def receive(self, payload: Any, channel: Channel) -> None:
+    def receive(self, payload: Any, channel: Link) -> None:
         if self.is_down:
             self.packets_dropped_while_down += 1
             return
@@ -675,6 +684,17 @@ class OrderingFabric:
         the trace attribute their wall time to it.  Profiling reads the
         clock and bumps counters only — it can never change simulation
         outcomes.
+    runtime:
+        Optional :class:`~repro.runtime.interfaces.RuntimeBackend`.  By
+        default the fabric builds a
+        :class:`~repro.runtime.sim_backend.SimTransport` from ``seed`` and
+        ``loss_rate`` (byte-identical to the pre-split behavior).  Pass an
+        :class:`~repro.runtime.asyncio_backend.AsyncioTransport` to run the
+        same protocol live.  When an explicit runtime is given and the
+        fabric's ``loss_rate`` is 0, the runtime's loss rate is adopted so
+        the reliable link layer arms itself consistently with what the
+        transport actually drops; the transport's own channels always
+        apply the loss rate *they* were built with.
     """
 
     def __init__(
@@ -695,11 +715,18 @@ class OrderingFabric:
         registry: Optional["MetricsRegistry"] = None,
         max_retransmits: Optional[int] = None,
         profiler: Optional["PhaseProfiler"] = None,
+        runtime: Optional[RuntimeBackend] = None,
     ):
         import random as _random
 
         if service_time < 0:
             raise ValueError(f"service_time must be >= 0, got {service_time}")
+        if runtime is None:
+            runtime = SimTransport(seed=seed, loss_rate=loss_rate)
+        elif loss_rate == 0.0:
+            # An explicit runtime carries its own loss configuration; adopt
+            # it so the reliable link layer arms when the wire can drop.
+            loss_rate = runtime.loss_rate
         #: uniform-delivery tracking: members ack deliveries to the egress
         #: node, which broadcasts a StableNotice once everyone delivered
         self.track_stability = track_stability
@@ -716,12 +743,15 @@ class OrderingFabric:
         #: per-message-visit processing time at sequencing nodes (ms);
         #: 0 = the paper's propagation-delay-only model
         self.service_time = service_time
-        self.sim = Simulator()
+        #: the runtime backend executing this fabric (sim by default)
+        self.runtime = runtime
+        #: the node handle shared by every process — under the simulated
+        #: backend this is the Simulator itself, hot path unchanged
+        self.sim = runtime.scheduler
         self._rng = _random.Random(seed)
-        self.network = Network(
-            self.sim, loss_rate=loss_rate, rng=_random.Random(seed + 1)
-        )
+        self.network = runtime.transport
         self.trace = Trace(enabled=trace)
+        runtime.attach_trace(self.trace)
         #: optional hot-path phase profiler (see repro.obs.profiler);
         #: shared with the simulator and the trace so all three attribute
         #: wall time into one set of phase accumulators
@@ -805,7 +835,7 @@ class OrderingFabric:
 
     # -- channel management ------------------------------------------------
 
-    def _channel(self, src: Process, dst: Process) -> Channel:
+    def _channel(self, src: Process, dst: Process) -> Link:
         try:
             return self.network.channel(src.name, dst.name)
         except KeyError:
@@ -873,7 +903,7 @@ class OrderingFabric:
         handle = self.sim.schedule(timeout, self._retransmit, src, dst, hop, attempts)
         link.pending[hop.seq] = (handle, attempts, hop)
 
-    def _retransmit_cause(self, dst: Process, channel: Channel) -> str:
+    def _retransmit_cause(self, dst: Process, channel: Link) -> str:
         """Attribute a retransmission to why the previous copy vanished."""
         if channel.is_down:
             return "outage"
@@ -949,7 +979,7 @@ class OrderingFabric:
             self.on_link_failure(failure)
 
     def _link_receive(
-        self, receiver: Process, payload: Any, channel: Channel
+        self, receiver: Process, payload: Any, channel: Link
     ) -> List[Any]:
         """Reliable-link input processing; returns in-order upper packets.
 
@@ -1176,8 +1206,15 @@ class OrderingFabric:
     # -- running and inspecting ---------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
-        """Drive the simulation; returns events executed."""
-        return self.sim.run(until=until, max_events=max_events)
+        """Drive the runtime backend; returns callbacks executed.
+
+        Blocking on every backend that owns its event source (the
+        simulator, or an :class:`AsyncioTransport` with an owned loop).
+        A hosted asyncio backend raises
+        :class:`~repro.runtime.errors.RuntimeUnavailable` here — drive it
+        with ``await fabric.runtime.wait_quiescent(...)`` instead.
+        """
+        return self.runtime.run(until=until, max_events=max_events)
 
     def delivered(self, host_id: int) -> List[DeliveryRecord]:
         """Messages delivered to a host, in delivery order."""

@@ -29,7 +29,7 @@ from typing import Dict, Optional
 from repro.core.messages import AtomId
 from repro.core.protocol import OrderingFabric
 from repro.pubsub.membership import GroupMembership
-from repro.sim.events import SimulationError
+from repro.runtime.errors import SimulationError
 
 logger = logging.getLogger(__name__)
 
@@ -145,6 +145,10 @@ def reconfigure(
         graph=graph,
         trace=fabric.trace.enabled,
         retransmit_timeout=fabric.retransmit_timeout,
+        # The next epoch runs on a fresh backend of the same kind (for the
+        # simulated backend this is exactly what the fabric would have
+        # built itself, so fixed-seed runs are unchanged).
+        runtime=fabric.runtime.successor(seed=seed, loss_rate=fabric.loss_rate),
     )
     if next_fabric.sim.events_executed:
         raise SimulationError("fresh fabric unexpectedly executed events")
@@ -180,4 +184,8 @@ def reconfigure(
 
     # --- continuity of identifiers ---------------------------------------
     next_fabric._next_msg_id = fabric._next_msg_id
+    # The old epoch's backend is done executing (quiescence was required
+    # above); release its resources — a no-op for the simulated backend,
+    # pump-task teardown for the live one.
+    fabric.runtime.close()
     return next_fabric

@@ -23,8 +23,8 @@ a fresh grace period instead of being re-suspected immediately.
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.protocol import HEARTBEAT_BYTES, HeartbeatPing, HeartbeatPong
-from repro.sim.network import Channel
-from repro.sim.processes import Process
+from repro.runtime.interfaces import Link
+from repro.runtime.node import Process
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.protocol import OrderingFabric
@@ -170,7 +170,7 @@ class HeartbeatDetector(Process):
         if self.on_suspect is not None:
             self.on_suspect(node_id, silence)
 
-    def receive(self, payload: Any, channel: Channel) -> None:
+    def receive(self, payload: Any, channel: Link) -> None:
         if not isinstance(payload, HeartbeatPong):
             raise TypeError(f"detector got unexpected packet {payload!r}")
         self.pongs_received += 1

@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.core.protocol import OrderingFabric
-    from repro.sim.network import Channel
+    from repro.runtime.interfaces import Link
 
 __all__ = [
     "CrashHost",
@@ -239,7 +239,7 @@ class DelaySpike(FaultAction):
                 f"{self.KIND}: factor must be positive, got {self.factor}"
             )
 
-    def _targets(self, fabric: "OrderingFabric") -> List["Channel"]:
+    def _targets(self, fabric: "OrderingFabric") -> List["Link"]:
         channels = fabric.network.channels
         return [
             channels[key]
@@ -254,7 +254,7 @@ class DelaySpike(FaultAction):
             channel.delay = channel.delay * self.factor
         fabric.sim.schedule(self.duration, self._restore, spiked)
 
-    def _restore(self, spiked: List[Tuple["Channel", float]]) -> None:
+    def _restore(self, spiked: List[Tuple["Link", float]]) -> None:
         for channel, original in spiked:
             channel.delay = original
 
@@ -297,7 +297,7 @@ class LossWindow(FaultAction):
                 f"{self.KIND}: loss_rate must be in (0, 1), got {self.loss_rate}"
             )
 
-    def _targets(self, fabric: "OrderingFabric") -> List["Channel"]:
+    def _targets(self, fabric: "OrderingFabric") -> List["Link"]:
         channels = fabric.network.channels
         return [
             channels[key]
@@ -315,7 +315,7 @@ class LossWindow(FaultAction):
             channel.loss_rate = self.loss_rate
         fabric.sim.schedule(self.duration, self._restore, window)
 
-    def _restore(self, window: List[Tuple["Channel", float]]) -> None:
+    def _restore(self, window: List[Tuple["Link", float]]) -> None:
         for channel, original in window:
             channel.loss_rate = original
 

@@ -2,7 +2,7 @@
 
 Three formats, three consumers:
 
-* **JSONL** — one :class:`~repro.sim.trace.TraceRecord` per line; lossless
+* **JSONL** — one :class:`~repro.runtime.trace.TraceRecord` per line; lossless
   round-trip (``load`` returns records equal to the originals) as long as
   record data is JSON-representable, which holds for every kind the fabric
   emits.
@@ -24,7 +24,7 @@ from typing import Dict, List, Union
 
 from repro.obs.registry import Histogram, MetricsRegistry
 from repro.obs.spans import build_spans, hop_intervals
-from repro.sim.trace import Trace, TraceRecord
+from repro.runtime.trace import Trace, TraceRecord
 
 PathLike = Union[str, pathlib.Path]
 

@@ -8,7 +8,7 @@ what delayed the missing predecessor (loss, a link outage, a crashed
 peer, failover replay, or nothing at all — it was genuinely in flight).
 
 Everything is rebuilt from trace records, so forensics works identically
-on a live :class:`~repro.sim.trace.Trace` and on a JSONL export loaded
+on a live :class:`~repro.runtime.trace.Trace` and on a JSONL export loaded
 from disk.  The flight-recorder kinds consumed here:
 
 ===============  ==========================================================
@@ -39,7 +39,7 @@ no guessing.  See ``docs/OBSERVABILITY.md`` ("Forensics") and the
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.sim.trace import TraceRecord
+from repro.runtime.trace import TraceRecord
 
 __all__ = [
     "AtomEvent",
@@ -239,8 +239,8 @@ class Journey:
 class JourneyIndex:
     """Rebuild per-message journeys and hold-back forensics from records.
 
-    Accepts any iterable of :class:`~repro.sim.trace.TraceRecord` —
-    a live :class:`~repro.sim.trace.Trace` or the list returned by
+    Accepts any iterable of :class:`~repro.runtime.trace.TraceRecord` —
+    a live :class:`~repro.runtime.trace.Trace` or the list returned by
     :func:`repro.obs.exporters.trace_from_jsonl` — and consumes it in
     one pass.  Records must be in emission (chronological) order, which
     both sources guarantee.

@@ -22,7 +22,7 @@ from repro.obs.registry import Gauge, MetricsRegistry, log_buckets
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.core.protocol import OrderingFabric
-    from repro.sim.events import Simulator
+    from repro.runtime.interfaces import NodeHandle
 
 
 def _process_label(name: object) -> str:
@@ -188,8 +188,15 @@ def _fabric_collector(fabric: "OrderingFabric"):
     return collect
 
 
-def _collect_simulator(sim: "Simulator", registry: MetricsRegistry) -> None:
-    """Mirror event-loop statistics into the registry."""
+def _collect_simulator(sim: "NodeHandle", registry: MetricsRegistry) -> None:
+    """Mirror event-loop statistics into the registry.
+
+    Works on any runtime node handle — the simulator and the asyncio
+    scheduler expose the same statistics surface (``events_executed``,
+    ``pending``, ``heap_high_water``, sampling counters), so the metric
+    names stay identical across backends; only their source differs
+    (virtual-time heap vs. live event-loop timers).
+    """
     registry.counter(
         "repro_sim_events_executed", "events executed by the event loop"
     ).set_total(sim.events_executed)
@@ -198,18 +205,18 @@ def _collect_simulator(sim: "Simulator", registry: MetricsRegistry) -> None:
     ).set(sim.pending)
     registry.gauge(
         "repro_sim_heap_high_water", "peak event-queue depth"
-    ).set_max(sim.heap_high_water)
+    ).set_max(getattr(sim, "heap_high_water", 0))
     registry.counter(
         "repro_sim_callbacks_sampled", "callbacks timed with perf_counter"
-    ).set_total(sim.callbacks_sampled)
+    ).set_total(getattr(sim, "callbacks_sampled", 0))
     registry.counter(
         "repro_sim_callback_wall_seconds",
         "wall-clock seconds inside sampled callbacks",
-    ).set_total(sim.callback_wall_time)
+    ).set_total(getattr(sim, "callback_wall_time", 0.0))
 
 
-def instrument_simulator(sim: "Simulator", registry: MetricsRegistry) -> None:
-    """Register a collector for a bare simulator (no fabric)."""
+def instrument_simulator(sim: "NodeHandle", registry: MetricsRegistry) -> None:
+    """Register a collector for a bare scheduler (no fabric)."""
     if not registry.enabled:
         return
     registry.register_collector(lambda reg: _collect_simulator(sim, reg))

@@ -30,10 +30,11 @@ simulation outcomes.  The cost of the profiler itself is measured: every
 calibrated at construction, and :meth:`estimated_overhead_s` reports the
 total so ``repro bench`` can say what ``repro.obs`` costs.
 
-Wall-clock reads are confined to :func:`read_wall_clock` — the one
-sanctioned sampling shim.  This module is listed in simlint's
-simulation-critical scope, so any other wall-clock read here (or in
-:mod:`repro.obs.bench`) is an SL101 error.
+Wall-clock reads are confined to
+:func:`repro.runtime.wallclock.read_wall_clock` — the one sanctioned
+sampling shim, re-exported here for compatibility.  This module is listed
+in simlint's simulation-critical scope, so any direct wall-clock read
+here (or in :mod:`repro.obs.bench`) is an SL101 error.
 
 :data:`NULL_PROFILER` is the disabled-mode null object, matching
 :data:`repro.obs.registry.NULL_REGISTRY`: every method is a no-op, so call
@@ -42,25 +43,25 @@ sites can hold a profiler unconditionally.  The hot-path call sites in
 the disabled path costs one attribute check, like ``trace.enabled``.
 """
 
-from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
+
+# The sanctioned sampling shim moved to the transport-neutral runtime
+# layer; re-exported here so existing ``from repro.obs.profiler import
+# read_wall_clock`` imports keep working (deprecated alias).
+from repro.runtime.wallclock import read_wall_clock
+
+__all__ = [
+    "NULL_PROFILER",
+    "PROFILE_PHASES",
+    "PhaseProfiler",
+    "read_wall_clock",
+]
 
 #: Profiled phase names, in reporting order.
 PROFILE_PHASES = ("dispatch", "sequencing", "delivery", "trace")
 
 #: enter/exit pairs timed at construction to estimate the clock cost
 CALIBRATION_PAIRS = 2000
-
-
-def read_wall_clock() -> float:
-    """The profiler's single sanctioned wall-clock read (sampling shim).
-
-    Every timing in this package flows through here; simulation code must
-    never read the host clock directly (simlint SL101 enforces this, and
-    this module is inside its enforcement scope).
-    """
-    # simlint: disable=SL101 -- the sampling shim: wall time is the measured quantity
-    return perf_counter()
 
 
 class PhaseProfiler:

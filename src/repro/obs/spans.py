@@ -32,7 +32,7 @@ and to split the distribution phase into wire time versus ordering wait.
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.sim.trace import Trace
+from repro.runtime.trace import Trace
 
 #: Phase names, in pipeline order.
 PHASES = ("ingress", "sequencing", "distribution")

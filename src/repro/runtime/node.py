@@ -1,0 +1,53 @@
+"""Base class for protocol participants, independent of the backend.
+
+A :class:`Process` is anything that can be the endpoint of a transport
+link: an end host, a sequencing node, a centralized coordinator, a
+failure detector.  Subclasses implement :meth:`Process.receive`.
+
+The process holds a :class:`~repro.runtime.interfaces.NodeHandle` — the
+clock + timer service of whichever backend it runs on.  Under the
+simulated backend that handle *is* the
+:class:`~repro.sim.events.Simulator`; under the live backend it is the
+asyncio scheduler.  The handle is exposed both as ``self.node`` (the
+transport-neutral name) and ``self.sim`` (the historical name the
+protocol hot path uses); they are the same object.
+"""
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.runtime.interfaces import Link, NodeHandle
+
+
+class Process:
+    """A named participant running on a runtime backend.
+
+    Parameters
+    ----------
+    node:
+        The runtime node handle (clock + timers) driving this process.
+        Historically this parameter was the concrete ``Simulator``; any
+        :class:`~repro.runtime.interfaces.NodeHandle` now works.
+    name:
+        A unique, hashable identifier (host id, sequencing-node id, ...).
+    """
+
+    def __init__(self, node: "NodeHandle", name: Any):
+        self.node = node
+        #: alias of :attr:`node` kept for the protocol hot path and for
+        #: pre-split callers; always the same object.
+        self.sim = node
+        self.name = name
+        self.messages_received = 0
+        self.messages_sent = 0
+
+    def receive(self, payload: Any, channel: "Link") -> None:
+        """Handle a payload arriving on ``channel``.
+
+        Subclasses must override.  ``channel.src`` identifies the sender
+        process.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

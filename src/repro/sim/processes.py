@@ -1,41 +1,12 @@
-"""Base class for simulated protocol participants.
+"""Deprecated alias: :class:`Process` moved to :mod:`repro.runtime.node`.
 
-A :class:`Process` is anything that can be the endpoint of a
-:class:`~repro.sim.network.Channel`: an end host, a sequencing node, a
-centralized coordinator.  Subclasses implement :meth:`Process.receive`.
+The process base class is transport-neutral since the runtime split — the
+same ``Process`` runs on the simulated backend and the live asyncio
+backend.  Import from :mod:`repro.runtime.node`; this module re-exports it
+so historical ``from repro.sim.processes import Process`` imports keep
+working.
 """
 
-from typing import TYPE_CHECKING, Any
+from repro.runtime.node import Process
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
-    from repro.sim.events import Simulator
-    from repro.sim.network import Channel
-
-
-class Process:
-    """A named participant in the simulation.
-
-    Parameters
-    ----------
-    sim:
-        The simulator driving this process.
-    name:
-        A unique, hashable identifier (host id, sequencing-node id, ...).
-    """
-
-    def __init__(self, sim: "Simulator", name: Any):
-        self.sim = sim
-        self.name = name
-        self.messages_received = 0
-        self.messages_sent = 0
-
-    def receive(self, payload: Any, channel: "Channel") -> None:
-        """Handle a payload arriving on ``channel``.
-
-        Subclasses must override.  ``channel.src`` identifies the sender
-        process.
-        """
-        raise NotImplementedError
-
-    def __repr__(self) -> str:
-        return f"<{type(self).__name__} {self.name!r}>"
+__all__ = ["Process"]
