@@ -13,17 +13,27 @@ Two analyzers share one finding model and one entry point:
   co-location consistency, from a live graph or an exported JSON
   certificate.
 
-A third analyzer audits *runtime* behaviour rather than code or graphs:
+Three further analyzers audit *behaviour* rather than code or graphs:
 
 * :mod:`repro.check.invariants` — re-checks a finished simulation's
   delivery logs (``RT3xx``): per-group total order, exactly-once,
   quiescence, publisher FIFO, mutual consistency, causal order, and
   stability.  Used by the fault-injection campaigns in
   :mod:`repro.faults` and the ``repro chaos`` CLI.
+* :mod:`repro.check.explore` — a schedule-space model checker
+  (``MC4xx``): drives the protocol over a controller-chosen delivery
+  order (:mod:`repro.runtime.explore_backend`) and enumerates every
+  reduced interleaving of a small configuration, checking safety
+  invariants at each terminal state.  Run with ``repro explore`` or
+  ``repro check --explore``.
+* :mod:`repro.check.asynclint` — asyncio-concurrency lint rules
+  (``SL110``-``SL114``) scoped to ``repro.runtime``.  Run with
+  ``repro check --async-lint``.
 
-Run the static pair with ``repro check`` (see :mod:`repro.check.runner`);
-the rule catalog lives in ``docs/STATIC_ANALYSIS.md`` and the runtime
-invariants in ``docs/FAULTS.md``.
+Run the static analyzers with ``repro check`` (see
+:mod:`repro.check.runner`); the rule catalog lives in
+``docs/STATIC_ANALYSIS.md`` and the runtime invariants in
+``docs/FAULTS.md``.
 """
 
 from repro.check.findings import (
@@ -39,6 +49,13 @@ from repro.check.graph_verify import (
     verify_certificate,
     verify_graph,
 )
+from repro.check.explore import (
+    ExploreConfig,
+    ExploreResult,
+    explore,
+    replay_schedule,
+    run_explore_check,
+)
 from repro.check.invariants import verify_run
 from repro.check.runner import run_check
 from repro.check.simlint import RULES, lint_path, lint_source
@@ -46,14 +63,19 @@ from repro.check.simlint import RULES, lint_path, lint_source
 __all__ = [
     "CERTIFICATE_FORMAT",
     "CheckReport",
+    "ExploreConfig",
+    "ExploreResult",
     "Finding",
     "RULES",
+    "explore",
     "lint_path",
     "lint_source",
     "load_certificate",
     "render_json",
     "render_text",
+    "replay_schedule",
     "run_check",
+    "run_explore_check",
     "sort_findings",
     "verify_certificate",
     "verify_graph",

@@ -1,0 +1,340 @@
+"""async-lint — concurrency rules for the asyncio runtime (SL110-SL114).
+
+The simulated backend is single-threaded and deterministic by
+construction; the asyncio backend re-introduces real concurrency, and
+with it a family of bugs simlint's determinism rules cannot see:
+coroutines that are created but never retired, state mutated across
+suspension points, wall-clock-coupled sleeps, and event-loop plumbing
+leaking out of the one module allowed to own it.
+
+These rules register into :mod:`repro.check.simlint`'s registry under
+scope ``"async"``, which confines them to ``repro.runtime`` (see
+``ASYNC_SCOPED_PREFIXES``).  They reuse simlint's module context, alias
+resolution, and suppression machinery, but report under their own tool
+name so merged ``repro check`` reports attribute findings correctly.
+
+Rules
+-----
+SL110  fire-and-forget task: ``create_task``/``ensure_future`` whose
+       result is discarded — the task is unreferenced (may be GC'd
+       mid-flight) and its exceptions vanish.
+SL111  shared attribute mutated across an ``await``: ``self.x`` read,
+       the coroutine suspends, then ``self.x`` is written from a
+       computed value — a lost-update window for any interleaved task.
+       Stores of plain constants (flag flips like ``self._running =
+       False``) are exempt: they carry no stale read.
+SL112  ``asyncio.sleep`` with a wall-clock-derived argument — couples
+       backoff/poll cadence to the host clock; derive delays from
+       virtual time and ``time_scale`` instead.
+SL113  module spawns tasks but never cancels or awaits any: no
+       ``.cancel()``, ``wait_for``, ``gather``, ``wait``, ``shield``,
+       or bare ``await`` of the stored handle means shutdown leaks
+       pending tasks (and their "Task was destroyed" warnings).
+SL114  event-loop access (``get_event_loop``/``call_later``/...)
+       outside :mod:`repro.runtime.asyncio_backend` — the transport is
+       the single sanctioned owner of loop plumbing; everything else
+       must go through the backend's scheduler surface.
+"""
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple, Union
+
+from repro.check.findings import Finding
+from repro.check.simlint import (
+    RULES,
+    ModuleContext,
+    Rule,
+    WALL_CLOCK_CALLS,
+    rule,
+)
+
+TOOL = "async-lint"
+
+#: the SL11x rule codes, for select= filters and the runner
+ASYNC_RULE_CODES = ("SL110", "SL111", "SL112", "SL113", "SL114")
+
+#: call targets that spawn a task from a coroutine
+TASK_SPAWNERS = {"create_task", "ensure_future"}
+
+#: names that count as retiring/handling a spawned task (SL113)
+TASK_RETIRERS = {"cancel", "wait_for", "gather", "wait", "shield"}
+
+#: the one module allowed to talk to the event loop directly (SL114)
+LOOP_OWNER_MODULE = "repro.runtime.asyncio_backend"
+
+#: asyncio module functions that fetch or build an event loop
+LOOP_ACCESSORS = {
+    "asyncio.get_event_loop",
+    "asyncio.get_running_loop",
+    "asyncio.new_event_loop",
+    "asyncio.set_event_loop",
+}
+
+#: loop-object methods that schedule work behind the runtime's back
+LOOP_METHODS = {
+    "call_soon",
+    "call_soon_threadsafe",
+    "call_later",
+    "call_at",
+    "run_until_complete",
+    "run_forever",
+}
+
+
+def _finding(
+    ctx: ModuleContext, rule_: Rule, node: ast.AST, message: str
+) -> Finding:
+    """Like ``ctx.finding`` but attributed to the async-lint tool."""
+    return Finding(
+        code=rule_.code,
+        message=message,
+        severity=rule_.severity,
+        file=ctx.rel,
+        line=getattr(node, "lineno", None),
+        tool=TOOL,
+    )
+
+
+def _spawner_name(ctx: ModuleContext, call: ast.Call) -> Optional[str]:
+    """The spawn function name when ``call`` creates a task, else None.
+
+    Matches both the module functions (``asyncio.create_task``,
+    ``asyncio.ensure_future``) and loop methods (``loop.create_task``).
+    """
+    target = ctx.call_target(call)
+    if target is not None:
+        tail = target.rpartition(".")[2]
+        if tail in TASK_SPAWNERS:
+            return tail
+    if isinstance(call.func, ast.Attribute) and call.func.attr in TASK_SPAWNERS:
+        return call.func.attr
+    return None
+
+
+@rule(
+    "SL110", "fire-and-forget-task",
+    "task created but its handle discarded", scope="async",
+)
+def check_unawaited_task(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag statement-level ``create_task(...)``/``ensure_future(...)``.
+
+    A task whose handle is dropped is only weakly referenced by the
+    loop: the garbage collector may reap it mid-flight, and any
+    exception it raises is reported (at best) at interpreter exit.
+    """
+    rule_ = RULES["SL110"]
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Expr):
+            continue
+        call = node.value
+        if not isinstance(call, ast.Call):
+            continue
+        spawner = _spawner_name(ctx, call)
+        if spawner is not None:
+            yield _finding(
+                ctx, rule_, node,
+                f"`{spawner}(...)` result discarded; store the task handle "
+                "so it can be awaited or cancelled (and is not GC'd "
+                "mid-flight)",
+            )
+
+
+_AWAIT_NODES = (ast.Await, ast.AsyncFor, ast.AsyncWith)
+_POS = Tuple[int, int]
+
+
+def _iter_own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@rule(
+    "SL111", "mutation-across-await",
+    "shared attribute read, then written after an await", scope="async",
+)
+def check_mutation_across_await(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag read-suspend-write windows on ``self`` attributes.
+
+    Within one coroutine, ``self.x`` is loaded, the coroutine suspends
+    at an ``await`` (any interleaved task may now run), and ``self.x``
+    is then stored from a computed value — the classic cooperative-
+    concurrency lost update.  Constant stores are exempt: a flag flip
+    cannot carry a stale read.
+    """
+    rule_ = RULES["SL111"]
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        awaits: List[_POS] = []
+        loads: List[Tuple[str, _POS]] = []
+        stores: List[Tuple[str, _POS, ast.AST, ast.AST]] = []
+        for node in _iter_own_nodes(func):
+            if isinstance(node, _AWAIT_NODES):
+                awaits.append((node.lineno, node.col_offset))
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = getattr(node, "value", None)
+                if value is None:
+                    continue
+                targets: List[ast.AST]
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                else:
+                    targets = [node.target]
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        pos = (target.lineno, target.col_offset)
+                        stores.append((attr, pos, value, node))
+            attr = _self_attr(node)
+            if attr is not None and isinstance(node.ctx, ast.Load):
+                loads.append((attr, (node.lineno, node.col_offset)))
+        for attr, store_pos, value, stmt in stores:
+            if isinstance(value, ast.Constant):
+                continue
+            racy = any(
+                load_attr == attr
+                and load_pos < store_pos
+                and any(load_pos < a < store_pos for a in awaits)
+                for load_attr, load_pos in loads
+            )
+            if racy:
+                yield _finding(
+                    ctx, rule_, stmt,
+                    f"`self.{attr}` is read before an await and written "
+                    "after it; any task interleaved at the suspension "
+                    "point races this update — re-read after the await "
+                    "or restructure to avoid the window",
+                )
+
+
+def _contains_wall_clock_call(ctx: ModuleContext, node: ast.AST) -> Optional[str]:
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        target = ctx.call_target(sub)
+        if target is None or "." not in target:
+            continue
+        module, _, attr = target.rpartition(".")
+        if attr in WALL_CLOCK_CALLS.get(module, ()):
+            return target
+    return None
+
+
+@rule(
+    "SL112", "wall-clock-sleep",
+    "asyncio.sleep derives its delay from the wall clock", scope="async",
+)
+def check_wall_clock_sleep(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag ``asyncio.sleep(f(time.time()))``-style calls.
+
+    Sleeping until a host-clock deadline couples the runtime's cadence
+    to real time; delays must derive from virtual time and the
+    backend's ``time_scale`` so scaled runs stay faithful.
+    """
+    rule_ = RULES["SL112"]
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = ctx.call_target(node)
+        if target != "asyncio.sleep":
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            clock = _contains_wall_clock_call(ctx, arg)
+            if clock is not None:
+                yield _finding(
+                    ctx, rule_, node,
+                    f"`asyncio.sleep` argument derives from `{clock}()`; "
+                    "compute delays from virtual time and time_scale, "
+                    "not the host clock",
+                )
+                break
+
+
+@rule(
+    "SL113", "task-leak",
+    "tasks spawned but never cancelled or awaited", scope="async",
+)
+def check_task_cancellation(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag modules that spawn tasks with no retirement path at all.
+
+    A module that calls ``create_task``/``ensure_future`` must somewhere
+    cancel, await, gather, or wait for tasks; otherwise shutdown leaks
+    them.  This is a module-level heuristic (one finding, anchored at
+    the first spawn) rather than a per-task data-flow analysis.
+    """
+    rule_ = RULES["SL113"]
+    first_spawn: Optional[ast.Call] = None
+    retired = False
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Await) and not isinstance(node.value, ast.Call):
+            # Awaiting a stored handle (`await self._task`) retires it;
+            # awaiting a fresh call (`await asyncio.sleep(...)`) does not.
+            retired = True
+        if not isinstance(node, ast.Call):
+            continue
+        if first_spawn is None and _spawner_name(ctx, node) is not None:
+            first_spawn = node
+        target = ctx.call_target(node)
+        tail = target.rpartition(".")[2] if target else None
+        if tail in TASK_RETIRERS:
+            retired = True
+        elif isinstance(node.func, ast.Attribute) and node.func.attr in TASK_RETIRERS:
+            retired = True
+    if first_spawn is not None and not retired:
+        yield _finding(
+            ctx, rule_, first_spawn,
+            "this module spawns tasks but never cancels, awaits, or "
+            "gathers any; give every spawned task a shutdown path",
+        )
+
+
+@rule(
+    "SL114", "loop-access-outside-transport",
+    "event-loop plumbing outside the asyncio transport", scope="async",
+)
+def check_loop_access(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag event-loop access anywhere but the backend module itself.
+
+    ``repro.runtime.asyncio_backend`` owns the loop; other runtime
+    modules scheduling callbacks or fetching loops directly bypass the
+    transport's quiescence tracking and time scaling.
+    """
+    rule_ = RULES["SL114"]
+    if ctx.module == LOOP_OWNER_MODULE:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = ctx.call_target(node)
+        if target in LOOP_ACCESSORS:
+            yield _finding(
+                ctx, rule_, node,
+                f"`{target}(...)` outside {LOOP_OWNER_MODULE}; route loop "
+                "access through the transport's scheduler surface",
+            )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in LOOP_METHODS
+        ):
+            yield _finding(
+                ctx, rule_, node,
+                f"loop method `.{node.func.attr}(...)` outside "
+                f"{LOOP_OWNER_MODULE}; schedule work through the "
+                "transport instead",
+            )

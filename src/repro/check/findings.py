@@ -21,7 +21,11 @@ SEVERITY_WARNING = "warning"
 SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
 
 #: Schema version of the JSON report emitted by :func:`render_json`.
-REPORT_VERSION = 1
+#: Version 2: findings from every analyzer (simlint, graph verify,
+#: model-check, async-lint) merge into one report, and a crashed
+#: analyzer is recorded as a ``CK000`` finding instead of aborting the
+#: run.  The field shapes are unchanged from version 1.
+REPORT_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,12 @@ first principles, sharing no code path with the construction:
 * **GV205** — placement co-location consistency (when the certificate
   carries a placement): every chain atom is placed exactly once, every
   node has a machine, and the ingress-only node flag matches its atoms.
+* **GV206** — retired-channel consistency (when the certificate carries
+  a ``channels`` section, as fabric-level exports do): no directed edge
+  retired by a failover also appears live, and the retirement counter
+  covers every recorded retired edge.  A retired edge resurfacing as
+  live means traffic can still route through a relocated node's old
+  identity.
 
 Findings use the shared :class:`~repro.check.findings.Finding` type,
 anchored by atom/group identifiers rather than file/line.
@@ -43,10 +49,15 @@ external tooling)::
       "ingress_only": {"3": ["ingress", [3]], ...},
       "placement": {"nodes": [{"node_id": 0, "machine": 5,
                                "ingress_only": false,
-                               "atom_ids": [["overlap", [0, 1]], ...]}]}
+                               "atom_ids": [["overlap", [0, 1]], ...]}]},
+      "channels": {"retired_count": 2,
+                   "live": [["('host', 0)", "('seq', 1)"], ...],
+                   "retired": [["('seq', 0)", "('host', 2)"], ...]}
     }
 
-``placement`` is optional.  Atom references are ``[kind, [groups...]]``
+``placement`` and ``channels`` are optional; fabric-level exports
+(:meth:`repro.core.protocol.OrderingFabric.export_certificate`) include
+``channels``, graph-only exports do not.  Atom references are ``[kind, [groups...]]``
 pairs; they intentionally mirror :class:`~repro.core.messages.AtomId`
 without importing it, so a certificate can be checked by third-party
 tooling with nothing but a JSON parser.
@@ -69,6 +80,17 @@ AtomKey = Tuple[str, Tuple[int, ...]]
 
 def _finding(code: str, anchor: str, message: str) -> Finding:
     return Finding(code=code, message=message, anchor=anchor, tool=TOOL)
+
+
+def _edge_key(edge: Any) -> Tuple[str, str]:
+    """Parse one ``[src, dst]`` certificate channel edge."""
+    if (
+        not isinstance(edge, (list, tuple))
+        or len(edge) != 2
+        or not all(isinstance(end, str) for end in edge)
+    ):
+        raise ValueError(f"malformed channel edge {edge!r}")
+    return (edge[0], edge[1])
 
 
 def _atom_key(ref: Any) -> AtomKey:
@@ -131,6 +153,16 @@ class _CertView:
         self.placement: Optional[List[Dict[str, Any]]] = None
         if cert.get("placement") is not None:
             self.placement = list(cert["placement"].get("nodes", []))
+        self.channels: Optional[Dict[str, Any]] = None
+        if cert.get("channels") is not None:
+            section = cert["channels"]
+            self.channels = {
+                "retired_count": int(section.get("retired_count", 0)),
+                "live": [_edge_key(edge) for edge in section.get("live", [])],
+                "retired": [
+                    _edge_key(edge) for edge in section.get("retired", [])
+                ],
+            }
 
     def retired(self, key: AtomKey) -> bool:
         spec = self.atoms.get(key)
@@ -162,6 +194,8 @@ def verify_certificate(cert: Dict[str, Any]) -> List[Finding]:
     findings.extend(_check_membership_consistency(view))
     if view.placement is not None:
         findings.extend(_check_placement_consistency(view))
+    if view.channels is not None:
+        findings.extend(_check_channel_consistency(view))
     return findings
 
 
@@ -402,6 +436,42 @@ def _check_placement_consistency(view: _CertView) -> List[Finding]:
                         "chain atom is missing from the placement",
                     )
                 )
+    return findings
+
+
+def _check_channel_consistency(view: _CertView) -> List[Finding]:
+    """GV206: retired channels never resurface as live edges."""
+    findings: List[Finding] = []
+    assert view.channels is not None
+    live = set(view.channels["live"])
+    retired = view.channels["retired"]
+    for src, dst in sorted(set(retired)):
+        if (src, dst) in live:
+            findings.append(
+                _finding(
+                    "GV206", f"{src} -> {dst}",
+                    "retired channel still appears as a live edge — "
+                    "failover left the relocated node's old identity "
+                    "routable",
+                )
+            )
+    duplicates = len(retired) - len(set(retired))
+    if duplicates:
+        findings.append(
+            _finding(
+                "GV206", "<channels>",
+                f"{duplicates} retired edge(s) recorded more than once",
+            )
+        )
+    if view.channels["retired_count"] < len(set(retired)):
+        findings.append(
+            _finding(
+                "GV206", "<channels>",
+                f"retirement counter {view.channels['retired_count']} is "
+                f"lower than the {len(set(retired))} recorded retired "
+                "edge(s) — the export and the transport disagree",
+            )
+        )
     return findings
 
 

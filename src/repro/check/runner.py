@@ -1,6 +1,8 @@
-"""Orchestration for ``repro check``: lint + graph verification in one run.
+"""Orchestration for ``repro check``: every analyzer in one run.
 
-Three analysis sources feed one :class:`~repro.check.findings.CheckReport`:
+Up to five analysis sources feed one
+:class:`~repro.check.findings.CheckReport`, merged under a single
+schema version:
 
 1. **simlint** over the installed ``repro`` package sources (or explicit
    paths),
@@ -9,9 +11,17 @@ Three analysis sources feed one :class:`~repro.check.findings.CheckReport`:
    audited by :mod:`repro.check.graph_verify` (including one dynamic
    add/remove episode per scenario, since reconfiguration is where
    invariants historically break),
-3. **certificate verification** for exported JSON certificates.
+3. **certificate verification** for exported JSON certificates,
+4. **model checking** (``--explore``) — budgeted schedule-space smoke
+   scenarios through :mod:`repro.check.explore`,
+5. **async-lint** (``--async-lint``) — the SL110-SL114 concurrency
+   rules over ``repro.runtime``.
 
-The exit code is the CI contract: 0 iff no findings.
+Each analyzer runs under a crash guard: an analyzer that *raises* (as
+opposed to reporting findings) contributes a ``CK000`` tool-crash
+finding instead of aborting the run, so ``--format json`` always emits
+a complete report for CI to parse.  The exit code is the CI contract:
+0 iff no findings.
 """
 
 import random
@@ -181,6 +191,54 @@ def run_certificates(paths: Sequence[str]) -> Tuple[List[Finding], int]:
     return findings, len(paths)
 
 
+def run_async_lint(
+    paths: Optional[Sequence[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """The SL110-SL114 concurrency family over the asyncio runtime."""
+    from repro.check import asynclint
+
+    roots = paths if paths else [str(default_lint_root() / "runtime")]
+    return run_simlint(roots, select=list(asynclint.ASYNC_RULE_CODES))
+
+
+def run_explore_smoke() -> Tuple[List[Finding], int]:
+    """Budgeted model-check scenarios (the ``--explore`` analyzer)."""
+    # Imported lazily: the explorer pulls in the protocol/topology stack.
+    from repro.check.explore import run_explore_check
+
+    return run_explore_check()
+
+
+def _crash_finding(tool: str, exc: BaseException) -> Finding:
+    """An analyzer raised instead of reporting; fail loud, not silent."""
+    return Finding(
+        code="CK000",
+        message=(
+            f"analyzer crashed: {type(exc).__name__}: {exc} "
+            "(findings from this tool are incomplete)"
+        ),
+        tool=tool,
+    )
+
+
+def _run_guarded(report: CheckReport, tool: str, key: str, runner) -> None:
+    """Run one analyzer; on a raise, record CK000 but keep the report.
+
+    ``--format json`` must emit a parseable report even when a rule
+    module is broken — a crashed analyzer is itself a finding, and the
+    other analyzers' findings still merge into the same report.
+    """
+    if tool not in report.tools:
+        report.tools.append(tool)
+    try:
+        findings, inspected = runner()
+    except Exception as exc:  # noqa: BLE001 - the guard is the point
+        report.findings.append(_crash_finding(tool, exc))
+        return
+    report.extend(findings)
+    report.inspected[key] = report.inspected.get(key, 0) + inspected
+
+
 def run_check(
     paths: Optional[Sequence[str]] = None,
     certificates: Sequence[str] = (),
@@ -189,6 +247,8 @@ def run_check(
     select: Optional[Sequence[str]] = None,
     fmt: str = "text",
     stream: Optional[IO[str]] = None,
+    explore: bool = False,
+    async_lint: bool = False,
 ) -> int:
     """Full ``repro check`` run; prints a report, returns the exit code."""
     if fmt not in ("text", "json"):
@@ -196,21 +256,28 @@ def run_check(
     stream = stream if stream is not None else sys.stdout
     report = CheckReport()
     if lint:
-        findings, inspected = run_simlint(paths, select=select)
-        report.extend(findings)
-        report.tools.append(simlint.TOOL)
-        report.inspected["files"] = inspected
+        _run_guarded(
+            report, simlint.TOOL, "files",
+            lambda: run_simlint(paths, select=select),
+        )
     if graphs:
-        findings, checked = run_graph_self_verification()
-        report.extend(findings)
-        report.tools.append(graph_verify.TOOL)
-        report.inspected["graphs"] = checked
+        _run_guarded(
+            report, graph_verify.TOOL, "graphs", run_graph_self_verification
+        )
     if certificates:
-        findings, checked = run_certificates(certificates)
-        report.extend(findings)
-        if graph_verify.TOOL not in report.tools:
-            report.tools.append(graph_verify.TOOL)
-        report.inspected["certificates"] = checked
+        _run_guarded(
+            report, graph_verify.TOOL, "certificates",
+            lambda: run_certificates(certificates),
+        )
+    if explore:
+        _run_guarded(report, "model-check", "schedules", run_explore_smoke)
+    if async_lint:
+        from repro.check import asynclint
+
+        _run_guarded(
+            report, asynclint.TOOL, "async_files",
+            lambda: run_async_lint(paths),
+        )
     renderer = render_json if fmt == "json" else render_text
     print(renderer(report), file=stream)
     return report.exit_code

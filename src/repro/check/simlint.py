@@ -58,6 +58,12 @@ SIM_SCOPED_PREFIXES = (
     "repro.obs.bench",
 )
 
+#: dotted module prefixes in which the "async"-scoped rules (the
+#: SL110-SL114 concurrency family, registered by
+#: :mod:`repro.check.asynclint`) apply — the packages that actually run
+#: coroutines on an event loop.
+ASYNC_SCOPED_PREFIXES = ("repro.runtime",)
+
 _SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
 _SUPPRESS_FILE_RE = re.compile(r"#\s*simlint:\s*disable-file=([A-Za-z0-9_,\s]+)")
 
@@ -104,7 +110,7 @@ class Rule:
     code: str
     name: str
     severity: str
-    scope: str  # "sim" | "all"
+    scope: str  # "sim" | "async" | "all"
     summary: str
     checker: Callable[["ModuleContext"], Iterator[Finding]]
 
@@ -117,7 +123,7 @@ def rule(
     severity: str = SEVERITY_ERROR,
 ) -> Callable:
     """Class/function decorator registering a checker under ``code``."""
-    if scope not in ("sim", "all"):
+    if scope not in ("sim", "async", "all"):
         raise ValueError(f"unknown rule scope {scope!r}")
 
     def register(checker: Callable[["ModuleContext"], Iterator[Finding]]):
@@ -140,6 +146,7 @@ class ModuleContext:
         self.lines = source.splitlines()
         self.tree = ast.parse(source, filename=str(path))
         self.is_sim_scoped = module.startswith(SIM_SCOPED_PREFIXES)
+        self.is_async_scoped = module.startswith(ASYNC_SCOPED_PREFIXES)
         #: local alias -> imported module ("import random as _r" -> {_r: random})
         self.module_aliases: Dict[str, str] = {}
         #: local name -> "module.attr" ("from time import time" -> {time: time.time})
@@ -485,6 +492,8 @@ def lint_source(
         rule_ = RULES[code]
         if rule_.scope == "sim" and not ctx.is_sim_scoped:
             continue
+        if rule_.scope == "async" and not ctx.is_async_scoped:
+            continue
         for finding in rule_.checker(ctx):
             if finding.line is not None and ctx.suppressed(rule_.code, finding.line):
                 continue
@@ -520,3 +529,10 @@ def lint_path(
         rel = str(path.relative_to(package_root.parent))
         findings.extend(lint_source(source, rel=rel, module=module, select=select))
     return findings, len(files)
+
+
+# The asyncio-concurrency rule family (SL110-SL114) lives in its own
+# module but registers into this registry; importing it here keeps
+# `import repro.check.simlint` sufficient to know every rule.  The import
+# sits at the tail because asynclint needs the names defined above.
+from repro.check import asynclint as _asynclint  # noqa: E402,F401

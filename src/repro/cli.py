@@ -158,7 +158,129 @@ def _cmd_check(args: argparse.Namespace) -> int:
         graphs=not args.no_graph,
         select=args.select or None,
         fmt=args.format,
+        explore=args.explore,
+        async_lint=args.async_lint,
     )
+
+
+def _parse_crash_spec(spec: str) -> tuple:
+    """Parse a ``NODE@AT`` or ``NODE@AT:DURATION`` crash spec."""
+    try:
+        node_part, _, when = spec.partition("@")
+        at_part, _, duration_part = when.partition(":")
+        node_id = int(node_part)
+        at = float(at_part)
+        duration = float(duration_part) if duration_part else None
+    except ValueError:
+        raise SystemExit(
+            f"malformed --crash spec {spec!r}; expected NODE@AT[:DURATION]"
+        )
+    return (node_id, at, duration)
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.check.explore import (
+        ExploreConfig,
+        ScheduleDivergence,
+        counterexample_document,
+        explore,
+        explore_report,
+        minimize_counterexample,
+        render_counterexample_trace,
+        replay_schedule,
+    )
+
+    if args.replay:
+        with open(args.replay, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        # Accept either a bare counterexample document or a full explore
+        # report (--out) with the counterexample nested inside it.
+        if "schedule" not in document:
+            nested = document.get("counterexample")
+            if not nested:
+                print(
+                    f"{args.replay}: no counterexample schedule to replay",
+                    file=sys.stderr,
+                )
+                return 2
+            document = nested
+        config = ExploreConfig.from_dict(document["config"])
+        try:
+            fabric, findings = replay_schedule(config, document["schedule"])
+        except ScheduleDivergence as exc:
+            print(f"replay diverged: {exc}", file=sys.stderr)
+            return 2
+        for finding in findings:
+            print(f"{finding.anchor}: {finding.code} {finding.message}")
+        trace_text = render_counterexample_trace(fabric, findings)
+        if trace_text:
+            print(trace_text)
+        print(
+            f"replay: {len(document['schedule'])} step(s), "
+            f"{len(findings)} violation(s)"
+        )
+        return 1 if findings else 0
+
+    config = ExploreConfig(
+        groups=args.groups,
+        hosts=args.hosts,
+        messages=args.messages,
+        seed=args.seed,
+        loss_rate=args.loss,
+        crashes=tuple(_parse_crash_spec(spec) for spec in args.crash),
+        mutate=args.mutate,
+        max_schedules=args.max_schedules,
+        max_depth=args.max_depth,
+    )
+    result = explore(config)
+    counterexample = None
+    if result.counterexample_schedule is not None:
+        minimal_config, minimal = minimize_counterexample(config, result)
+        assert minimal.counterexample_schedule is not None
+        counterexample = counterexample_document(
+            minimal_config,
+            minimal.counterexample_schedule,
+            minimal.violations,
+        )
+        fabric, findings = replay_schedule(
+            minimal_config, minimal.counterexample_schedule
+        )
+        counterexample["journeys"] = render_counterexample_trace(
+            fabric, findings
+        ).splitlines()
+    if args.format == "json":
+        rendered = explore_report(result, counterexample)
+    else:
+        stats = result.stats()
+        lines = [
+            f"explore: {config.label()}",
+            f"  schedules {stats['schedules']} "
+            f"(terminal {stats['terminal_states']}, "
+            f"sleep-blocked {stats['sleep_blocked']}, "
+            f"depth-truncated {stats['depth_truncated']})",
+            f"  transitions {stats['transitions']}, "
+            f"exhausted {stats['exhausted']}",
+        ]
+        for finding in result.violations:
+            lines.append(
+                f"  {finding.anchor}: {finding.code} {finding.message}"
+            )
+        if counterexample is not None:
+            lines.append(
+                f"  minimal counterexample: "
+                f"{len(counterexample['schedule'])} step(s)"
+            )
+            lines.extend(
+                "    " + line for line in counterexample["journeys"]
+            )
+        rendered = "\n".join(lines)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"explore report written to {args.out}")
+    else:
+        print(rendered)
+    return 1 if result.violations else 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -541,10 +663,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-graph", action="store_true", help="skip graph self-verification"
     )
     check.add_argument(
+        "--explore", action="store_true",
+        help="also run the budgeted model-check smoke scenarios (MC4xx)",
+    )
+    check.add_argument(
+        "--async-lint", dest="async_lint", action="store_true",
+        help="also run the asyncio concurrency rules (SL110-SL114) over "
+        "repro.runtime (or the given paths)",
+    )
+    check.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="report format (default: text)",
     )
     check.set_defaults(func=_cmd_check)
+
+    explore = sub.add_parser(
+        "explore",
+        help="model-check a small configuration: enumerate every reduced "
+        "message/timer interleaving and audit the MC4xx invariants",
+    )
+    explore.add_argument("--groups", type=int, default=2)
+    explore.add_argument("--hosts", type=int, default=3)
+    explore.add_argument(
+        "--messages", type=int, default=1,
+        help="publish rounds (one message per group each; default 1)",
+    )
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument(
+        "--loss", type=float, default=0.0, help="per-channel loss rate"
+    )
+    explore.add_argument(
+        "--crash", action="append", default=[], metavar="NODE@AT[:DURATION]",
+        help="crash sequencing node NODE at virtual time AT (repeatable); "
+        "omit :DURATION for a permanent crash",
+    )
+    explore.add_argument(
+        "--mutate", choices=("skip-stamp", "drop-delivery", "dup-delivery"),
+        default=None,
+        help="inject a seeded protocol mutation (checker validation)",
+    )
+    explore.add_argument("--max-schedules", type=int, default=5000)
+    explore.add_argument("--max-depth", type=int, default=200)
+    explore.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="replay a counterexample document instead of exploring",
+    )
+    explore.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    explore.add_argument(
+        "--out", default=None, help="write the report here instead of stdout"
+    )
+    explore.set_defaults(func=_cmd_explore)
 
     chaos = sub.add_parser(
         "chaos",

@@ -1228,6 +1228,27 @@ class OrderingFabric:
             if process.delivery.pending
         }
 
+    def export_certificate(self) -> Dict:
+        """Graph + placement certificate, extended with live channel state.
+
+        Beyond :meth:`SequencingGraph.export_certificate`, the fabric
+        adds a ``channels`` section recording the transport's live and
+        retired directed edges (process names rendered with ``repr``)
+        plus the retirement counter, so
+        :mod:`repro.check.graph_verify`'s GV206 can prove that no edge
+        retired by a failover still appears live.
+        """
+        certificate = self.graph.export_certificate(placement=self.placement)
+        retired = getattr(self.network, "retired_edges", set())
+        certificate["channels"] = {
+            "retired_count": self.network.channels_retired,
+            "live": sorted(
+                [repr(src), repr(dst)] for src, dst in self.network.channels
+            ),
+            "retired": sorted([repr(src), repr(dst)] for src, dst in retired),
+        }
+        return certificate
+
     def unicast_delay(self, sender: int, dest: int) -> float:
         """Baseline shortest-path delay between two hosts."""
         a = self._host_by_id[sender]

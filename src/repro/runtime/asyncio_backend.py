@@ -40,7 +40,9 @@ Design notes
 import asyncio
 import random
 from collections import deque
-from typing import TYPE_CHECKING, Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING, Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple,
+)
 
 from repro.runtime.errors import RuntimeUnavailable, SimulationError
 from repro.runtime.wallclock import LiveClock, read_wall_clock
@@ -307,6 +309,8 @@ class AsyncioNetwork:
         self._cuts: List[Tuple[float, FrozenSet[Any], Optional[FrozenSet[Any]]]] = []
         self._retired_totals: Dict[str, int] = {k: 0 for k in self._CARRIED_STATS}
         self.channels_retired = 0
+        #: edges retired by failover and not since re-created (GV206)
+        self._retired_keys: Set[Tuple[Any, Any]] = set()
         #: packets enqueued to an inbox but not yet fully processed by the
         #: destination pump — part of the backend's pending-work count
         self._unprocessed = 0
@@ -388,6 +392,8 @@ class AsyncioNetwork:
             rng=self.rng,
         )
         self._channels[key] = channel
+        # A re-created edge (post-failover reconnect) is live again.
+        self._retired_keys.discard(key)
         # A channel created while a partition cut is active inherits the
         # remaining outage window (matches the simulated network).
         for heal_time, side_a, side_b in self._active_cuts():
@@ -448,7 +454,13 @@ class AsyncioNetwork:
             for stat in self._CARRIED_STATS:
                 self._retired_totals[stat] += getattr(channel, stat)
         self.channels_retired += len(retired)
+        self._retired_keys.update(retired)
         return len(retired)
+
+    @property
+    def retired_edges(self) -> Set[Tuple[Any, Any]]:
+        """Edges retired by failover and not re-created since."""
+        return set(self._retired_keys)
 
     # -- aggregates --------------------------------------------------------
 

@@ -222,11 +222,17 @@ class OrderingService:
         return body
 
     def _check(self) -> Dict[str, Any]:
-        """Re-prove C1/C2 over the *live* fabric's sequencing graph."""
-        from repro.check import verify_graph
+        """Re-prove C1/C2 (and channel consistency) over the live fabric.
+
+        Goes through the fabric-level certificate export rather than the
+        bare graph so the audit covers exactly what an exported
+        certificate would: graph, placement, and the transport's
+        live/retired channel state (GV206).
+        """
+        from repro.check import verify_certificate
 
         fabric = self.bus.fabric  # builds the fabric if nothing ran yet
-        findings = verify_graph(fabric.graph, fabric.placement)
+        findings = verify_certificate(fabric.export_certificate())
         return {
             "ok": not findings,
             "findings": [

@@ -20,7 +20,7 @@ explain where packets went.
 """
 
 import random
-from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.sim.events import Simulator
 from repro.sim.processes import Process
@@ -172,6 +172,9 @@ class Network:
         #: network-wide totals stay monotonic across node relocations
         self._retired_totals: Dict[str, int] = {k: 0 for k in self._CARRIED_STATS}
         self.channels_retired = 0
+        #: edges retired by failover and not since re-created; exported
+        #: into certificates so GV206 can prove no retired edge is live
+        self._retired_keys: Set[Tuple[Any, Any]] = set()
 
     def add_process(self, process: Process) -> Process:
         """Register a process; names must be unique."""
@@ -213,6 +216,8 @@ class Network:
             rng=self.rng,
         )
         self._channels[key] = channel
+        # A re-created edge (post-failover reconnect) is live again.
+        self._retired_keys.discard(key)
         # A channel created while a partition cut is active inherits the
         # remaining outage window, so retransmissions cannot tunnel
         # through the cut on a freshly created channel.
@@ -282,7 +287,13 @@ class Network:
             for stat in self._CARRIED_STATS:
                 self._retired_totals[stat] += getattr(channel, stat)
         self.channels_retired += len(retired)
+        self._retired_keys.update(retired)
         return len(retired)
+
+    @property
+    def retired_edges(self) -> Set[Tuple[Any, Any]]:
+        """Edges retired by failover and not re-created since."""
+        return set(self._retired_keys)
 
     # -- aggregates --------------------------------------------------------
 

@@ -1,0 +1,374 @@
+"""Golden tests for the SL110-SL114 asyncio-concurrency rules.
+
+Mirrors the structure of ``test_check_simlint.py``: every rule gets a
+violating snippet and a clean/suppressed variant.  Snippets are linted
+under an async-scoped module name (``repro.runtime.inline``) so the
+"async"-scoped rules apply; the same snippets under a sim-scoped module
+must produce nothing.
+"""
+
+import textwrap
+
+from repro.check import lint_source
+from repro.check.asynclint import ASYNC_RULE_CODES, LOOP_OWNER_MODULE
+
+
+def lint(source, module="repro.runtime.inline", select=None):
+    return lint_source(
+        textwrap.dedent(source),
+        module=module,
+        select=select or list(ASYNC_RULE_CODES),
+    )
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# -- SL110 fire-and-forget tasks ---------------------------------------------
+
+
+def test_sl110_flags_discarded_create_task():
+    findings = lint(
+        """
+        import asyncio
+
+        def kick(coro):
+            asyncio.create_task(coro)
+        """,
+        select=["SL110"],
+    )
+    assert codes(findings) == ["SL110"]
+    assert findings[0].tool == "async-lint"
+
+
+def test_sl110_flags_discarded_ensure_future():
+    findings = lint(
+        """
+        import asyncio
+
+        def kick(loop, coro):
+            asyncio.ensure_future(coro)
+        """,
+        select=["SL110"],
+    )
+    assert codes(findings) == ["SL110"]
+
+
+def test_sl110_kept_handle_is_clean():
+    findings = lint(
+        """
+        import asyncio
+
+        class Pump:
+            def start(self, coro):
+                self._task = asyncio.create_task(coro)
+        """,
+        select=["SL110"],
+    )
+    assert findings == []
+
+
+def test_sl110_suppressed():
+    findings = lint(
+        """
+        import asyncio
+
+        def kick(coro):
+            asyncio.create_task(coro)  # simlint: disable=SL110 -- daemon probe
+        """,
+        select=["SL110"],
+    )
+    assert findings == []
+
+
+# -- SL111 await between read and write of shared state ----------------------
+
+
+def test_sl111_flags_read_await_write():
+    findings = lint(
+        """
+        import asyncio
+
+        class Counter:
+            async def bump(self):
+                current = self.count
+                await asyncio.sleep(0)
+                self.count = current + 1
+        """,
+        select=["SL111"],
+    )
+    assert codes(findings) == ["SL111"]
+    assert "self.count" in findings[0].message
+
+
+def test_sl111_write_before_await_is_clean():
+    findings = lint(
+        """
+        import asyncio
+
+        class Counter:
+            async def bump(self):
+                self.count += 1
+                await asyncio.sleep(0)
+        """,
+        select=["SL111"],
+    )
+    assert findings == []
+
+
+def test_sl111_constant_store_exempt():
+    findings = lint(
+        """
+        import asyncio
+
+        class Pump:
+            async def stop(self):
+                if self.running:
+                    await self.drain()
+                self.running = False
+        """,
+        select=["SL111"],
+    )
+    assert findings == []
+
+
+def test_sl111_nested_function_does_not_leak():
+    findings = lint(
+        """
+        class Pump:
+            async def run(self):
+                state = self.state
+
+                async def helper():
+                    await inner()
+
+                self.state = transform(state)
+        """,
+        select=["SL111"],
+    )
+    assert findings == []
+
+
+def test_sl111_suppressed():
+    findings = lint(
+        """
+        import asyncio
+
+        class Counter:
+            async def bump(self):
+                current = self.count
+                await asyncio.sleep(0)
+                # simlint: disable=SL111 -- single-writer by construction
+                self.count = current + 1
+        """,
+        select=["SL111"],
+    )
+    assert findings == []
+
+
+# -- SL112 wall-clock fed into asyncio.sleep ---------------------------------
+
+
+def test_sl112_flags_wall_clock_sleep_argument():
+    findings = lint(
+        """
+        import asyncio
+        import time
+
+        async def wait_until(deadline):
+            await asyncio.sleep(deadline - time.monotonic())
+        """,
+        select=["SL112"],
+    )
+    assert codes(findings) == ["SL112"]
+
+
+def test_sl112_plain_duration_is_clean():
+    findings = lint(
+        """
+        import asyncio
+
+        async def backoff(delay):
+            await asyncio.sleep(delay * 2)
+        """,
+        select=["SL112"],
+    )
+    assert findings == []
+
+
+def test_sl112_suppressed():
+    findings = lint(
+        """
+        import asyncio
+        import time
+
+        async def wait_until(deadline):
+            await asyncio.sleep(deadline - time.time())  # simlint: disable=SL112 -- host wall deadline
+        """,
+        select=["SL112"],
+    )
+    assert findings == []
+
+
+# -- SL113 spawned tasks never retired ---------------------------------------
+
+
+def test_sl113_flags_module_that_never_retires_tasks():
+    findings = lint(
+        """
+        import asyncio
+
+        class Pump:
+            def start(self, coro):
+                self._task = asyncio.create_task(coro)
+
+            async def run(self):
+                await asyncio.sleep(1.0)
+        """,
+        select=["SL113"],
+    )
+    assert codes(findings) == ["SL113"]
+
+
+def test_sl113_cancel_retires():
+    findings = lint(
+        """
+        import asyncio
+
+        class Pump:
+            def start(self, coro):
+                self._task = asyncio.create_task(coro)
+
+            def stop(self):
+                self._task.cancel()
+        """,
+        select=["SL113"],
+    )
+    assert findings == []
+
+
+def test_sl113_awaiting_stored_handle_retires():
+    findings = lint(
+        """
+        import asyncio
+
+        class Pump:
+            def start(self, coro):
+                self._task = asyncio.create_task(coro)
+
+            async def join(self):
+                await self._task
+        """,
+        select=["SL113"],
+    )
+    assert findings == []
+
+
+def test_sl113_no_spawn_no_finding():
+    findings = lint(
+        """
+        import asyncio
+
+        async def run():
+            await asyncio.sleep(1.0)
+        """,
+        select=["SL113"],
+    )
+    assert findings == []
+
+
+# -- SL114 event-loop access outside the backend -----------------------------
+
+
+def test_sl114_flags_loop_accessor():
+    findings = lint(
+        """
+        import asyncio
+
+        def current():
+            return asyncio.get_event_loop()
+        """,
+        select=["SL114"],
+    )
+    assert codes(findings) == ["SL114"]
+
+
+def test_sl114_flags_loop_method():
+    findings = lint(
+        """
+        def arm(loop, fn):
+            loop.call_later(1.0, fn)
+        """,
+        select=["SL114"],
+    )
+    assert codes(findings) == ["SL114"]
+
+
+def test_sl114_exempt_in_owning_backend_module():
+    findings = lint(
+        """
+        import asyncio
+
+        def current():
+            return asyncio.get_running_loop()
+        """,
+        module=LOOP_OWNER_MODULE,
+        select=["SL114"],
+    )
+    assert findings == []
+
+
+def test_sl114_suppressed():
+    findings = lint(
+        """
+        import asyncio
+
+        def current():
+            return asyncio.get_event_loop()  # simlint: disable=SL114 -- repl helper
+        """,
+        select=["SL114"],
+    )
+    assert findings == []
+
+
+# -- scoping -----------------------------------------------------------------
+
+
+VIOLATES_EVERYTHING = """
+import asyncio
+import time
+
+class Pump:
+    def start(self, coro):
+        asyncio.create_task(coro)
+
+    async def bump(self):
+        current = self.count
+        await asyncio.sleep(time.time() % 1.0)
+        self.count = current + 1
+
+    def arm(self, fn):
+        asyncio.get_event_loop().call_later(1.0, fn)
+"""
+
+
+def test_async_rules_silent_outside_runtime_scope():
+    for module in ("repro.core.inline", "repro.analysis.report"):
+        findings = lint(VIOLATES_EVERYTHING, module=module)
+        assert findings == [], module
+
+
+def test_async_rules_all_fire_inside_runtime_scope():
+    findings = lint(VIOLATES_EVERYTHING)
+    assert sorted(set(codes(findings))) == [
+        "SL110", "SL111", "SL112", "SL113", "SL114",
+    ]
+
+
+def test_shipped_runtime_tree_is_async_lint_clean():
+    from repro.check.runner import run_async_lint
+
+    findings, inspected = run_async_lint()
+    assert findings == []
+    assert inspected >= 5  # the whole src/repro/runtime package

@@ -407,10 +407,14 @@ def test_select_restricts_rules():
 
 
 def test_rule_registry_is_complete():
-    assert set(RULES) == {"SL101", "SL102", "SL103", "SL104", "SL105", "SL106"}
+    assert set(RULES) == {
+        "SL101", "SL102", "SL103", "SL104", "SL105", "SL106",
+        # asyncio-concurrency family (repro.check.asynclint)
+        "SL110", "SL111", "SL112", "SL113", "SL114",
+    }
     for code, rule in RULES.items():
         assert rule.code == code
-        assert rule.scope in ("sim", "all")
+        assert rule.scope in ("sim", "async", "all")
         assert rule.summary
 
 

@@ -1,0 +1,262 @@
+"""Schedule-space model checker: backend conformance, DFS, MC4xx rules.
+
+Covers the explore stack bottom-up: the controller-driven
+:class:`ExploreTransport` conforms to the runtime protocols and matches
+the simulator's default-policy semantics; the sleep-set DFS exhausts its
+reduced schedule space deterministically; the MC400-MC406 invariants
+pass on the healthy protocol and each seeded mutation trips its intended
+code with a replayable, minimized counterexample; and the check runner
+merges explore/async-lint findings crash-tolerantly.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.check.explore import (
+    CHECK_SCENARIOS,
+    ExploreConfig,
+    ScheduleDivergence,
+    counterexample_document,
+    explore,
+    minimize_counterexample,
+    render_counterexample_trace,
+    replay_schedule,
+    run_explore_check,
+)
+from repro.runtime.explore_backend import ExploreTransport
+from repro.runtime.interfaces import Link, NodeHandle, RuntimeBackend, Transport
+
+
+SMALL = ExploreConfig(groups=2, hosts=3, messages=1, seed=0,
+                      max_schedules=400, max_depth=80)
+
+
+# -- backend conformance -----------------------------------------------------
+
+
+def test_explore_transport_implements_runtime_protocols():
+    runtime = ExploreTransport(seed=0)
+    assert isinstance(runtime, RuntimeBackend)
+    assert isinstance(runtime.scheduler, NodeHandle)
+    assert isinstance(runtime.transport, Transport)
+    assert runtime.backend_name == "explore"
+
+
+def test_explore_channel_implements_link_protocol():
+    runtime = ExploreTransport(seed=0)
+
+    class _Probe:
+        name = ("probe", 0)
+
+        def receive(self, payload, channel):
+            pass
+
+    a, b = _Probe(), _Probe()
+    b.name = ("probe", 1)
+    runtime.transport.add_process(a)
+    runtime.transport.add_process(b)
+    channel = runtime.transport.connect(a.name, b.name, delay=1.0)
+    assert isinstance(channel, Link)
+
+
+def test_default_run_policy_matches_simulator_results(env32):
+    """Driven by its earliest-first default policy (no controller), the
+    explore backend reaches the same delivered set as the simulator."""
+    from repro.runtime.sim_backend import SimTransport
+    from tests.test_runtime_conformance import build_fabric, publish_mixed
+
+    delivered = []
+    for runtime in (SimTransport(seed=0), ExploreTransport(seed=0)):
+        fabric = build_fabric(env32, runtime)
+        publish_mixed(fabric, 10, spread=20.0)
+        fabric.run()
+        assert fabric.pending_messages() == {}
+        delivered.append(
+            {
+                host: [r.msg_id for r in p.delivered]
+                for host, p in sorted(fabric.host_processes.items())
+            }
+        )
+    # Same messages everywhere; the *order* may differ (policies differ),
+    # but each host's delivered set must match.
+    assert {h: sorted(v) for h, v in delivered[0].items()} == {
+        h: sorted(v) for h, v in delivered[1].items()
+    }
+
+
+# -- exhaustive exploration --------------------------------------------------
+
+
+def test_small_config_exhausts_deterministically():
+    first = explore(SMALL)
+    second = explore(SMALL)
+    assert first.exhausted and second.exhausted
+    assert first.violations == [] and second.violations == []
+    assert first.stats() == second.stats()
+    assert first.terminal_states > 1  # genuinely multiple interleavings
+
+
+def test_partial_order_reduction_prunes_schedules():
+    """Sleep sets must block some interleavings of independent deliveries
+    (2 overlapping groups x 3 hosts guarantees commuting pairs exist)."""
+    result = explore(SMALL)
+    assert result.sleep_blocked > 0
+    assert result.schedules == result.terminal_states + result.sleep_blocked
+
+
+def test_three_group_config_explores_clean():
+    config = ExploreConfig(groups=3, hosts=4, messages=1, seed=1,
+                           max_schedules=200, max_depth=120)
+    result = explore(config)
+    assert result.violations == []
+    assert result.terminal_states > 0
+
+
+def test_schedule_budget_stops_search():
+    config = ExploreConfig(groups=2, hosts=3, messages=2, seed=0,
+                           max_schedules=5, max_depth=200)
+    result = explore(config)
+    assert result.schedules <= 6  # budget + the in-flight descent
+    assert not result.exhausted
+
+
+def test_crash_plan_timers_interleave_clean():
+    config = ExploreConfig(groups=2, hosts=3, messages=1, seed=0,
+                           crashes=((0, 1.0, 3.0),),
+                           max_schedules=150, max_depth=200)
+    result = explore(config)
+    assert result.violations == []
+    assert result.terminal_states > 0
+
+
+def test_loss_exploration_stays_clean():
+    config = ExploreConfig(groups=2, hosts=3, messages=1, seed=0,
+                           loss_rate=0.2, max_schedules=150, max_depth=300)
+    result = explore(config)
+    assert result.violations == []
+
+
+# -- mutation harness: each seeded bug trips its MC code ---------------------
+
+
+MUTATION_CODES = {
+    "skip-stamp": {"MC404"},
+    "drop-delivery": {"MC402", "MC403"},
+    "dup-delivery": {"MC401"},
+}
+
+
+@pytest.mark.parametrize("mutation,expected", sorted(MUTATION_CODES.items()))
+def test_mutation_yields_violation_with_replayable_counterexample(
+    mutation, expected
+):
+    config = ExploreConfig(groups=2, hosts=3, messages=2, seed=0,
+                           mutate=mutation, max_schedules=2000, max_depth=120)
+    result = explore(config)
+    found = {f.code for f in result.violations}
+    assert found & expected, f"{mutation}: got {found}, wanted {expected}"
+    assert result.counterexample_schedule is not None
+
+    # The recorded schedule replays to the same violation codes.
+    fabric, findings = replay_schedule(
+        config, result.counterexample_schedule, trace=True
+    )
+    assert {f.code for f in findings} & expected
+    # ... and the forensics layer renders the implicated journeys.
+    text = render_counterexample_trace(fabric, findings)
+    assert text.strip()
+
+
+def test_counterexample_minimization_shrinks_workload():
+    config = ExploreConfig(groups=2, hosts=3, messages=2, seed=0,
+                           mutate="skip-stamp", max_schedules=2000,
+                           max_depth=120)
+    result = explore(config)
+    minimal_config, minimal = minimize_counterexample(config, result)
+    assert minimal.counterexample_schedule is not None
+    assert len(minimal_config.skip_messages) > 0
+    assert len(minimal.counterexample_schedule) < len(
+        result.counterexample_schedule
+    )
+    # Minimal counterexamples survive their own JSON round trip.
+    document = counterexample_document(
+        minimal_config, minimal.counterexample_schedule, minimal.violations
+    )
+    parsed = json.loads(json.dumps(document))
+    round_tripped = ExploreConfig.from_dict(parsed["config"])
+    _fabric, findings = replay_schedule(round_tripped, parsed["schedule"])
+    assert {f.code for f in findings} & {"MC404"}
+
+
+def test_replay_divergence_is_detected():
+    result = explore(SMALL)
+    assert result.counterexample_schedule is None
+    with pytest.raises(ScheduleDivergence):
+        replay_schedule(SMALL, [["deliver", "('nope', 9)", "('nope', 8)"]])
+
+
+def test_config_validation_rejects_bad_input():
+    with pytest.raises(ValueError):
+        ExploreConfig(groups=0)
+    with pytest.raises(ValueError):
+        ExploreConfig(mutate="no-such-mutation")
+
+
+def test_config_dict_round_trip():
+    config = ExploreConfig(groups=3, hosts=4, messages=2, seed=5,
+                           loss_rate=0.1, crashes=((1, 2.0, None),),
+                           mutate="dup-delivery", skip_messages=(1, 3))
+    assert ExploreConfig.from_dict(config.to_dict()) == config
+
+
+# -- runner integration ------------------------------------------------------
+
+
+def test_run_explore_check_smoke_scenarios_pass():
+    findings, schedules = run_explore_check()
+    assert findings == []
+    assert schedules > 0
+    assert len(CHECK_SCENARIOS) >= 2
+
+
+def test_run_check_merges_explore_and_async_lint():
+    from repro.check.runner import run_check
+
+    stream = io.StringIO()
+    code = run_check(paths=(), certificates=(), lint=False, graphs=False,
+                     fmt="json", stream=stream, explore=True,
+                     async_lint=True)
+    assert code == 0
+    payload = json.loads(stream.getvalue())
+    assert payload["version"] == 2
+    assert "model-check" in payload["tools"]
+    assert "async-lint" in payload["tools"]
+    assert payload["inspected"]["schedules"] > 0
+    assert payload["inspected"]["async_files"] > 0
+    assert payload["findings"] == []
+
+
+def test_run_check_survives_crashing_analyzer(monkeypatch):
+    """A raising analyzer becomes a CK000 finding; the JSON report still
+    renders and the other analyzers' results survive."""
+    from repro.check import runner as runner_mod
+    from repro.check.runner import run_check
+
+    def boom():
+        raise RuntimeError("rule module exploded")
+
+    monkeypatch.setattr(runner_mod, "run_explore_smoke", boom)
+    stream = io.StringIO()
+    code = run_check(paths=(), certificates=(), lint=False, graphs=False,
+                     fmt="json", stream=stream, explore=True,
+                     async_lint=True)
+    assert code == 1
+    payload = json.loads(stream.getvalue())
+    crash = [f for f in payload["findings"] if f["code"] == "CK000"]
+    assert len(crash) == 1
+    assert "rule module exploded" in crash[0]["message"]
+    assert crash[0]["tool"] == "model-check"
+    # The async-lint analyzer still contributed.
+    assert payload["inspected"]["async_files"] > 0

@@ -1,0 +1,191 @@
+"""Certificate export/verify round trips on live fabrics + GV206.
+
+Satellite coverage for the previously-untested offline path: a fabric on
+the live :class:`AsyncioTransport` exports a certificate through
+``fabric.export_certificate()`` which ``verify_certificate`` proves
+clean, including the new ``channels`` section (GV206: retired channels
+never reappear as live edges), through a JSON file round trip, and
+through the service's ``check`` endpoint — all without opening a socket.
+Adversarial fixtures tamper with the channel section to show GV206
+actually rejects inconsistent certificates.
+"""
+
+import asyncio
+import copy
+import json
+
+import pytest
+
+from repro.check import load_certificate, verify_certificate
+from tests.test_runtime_conformance import (
+    LIVE_TIME_SCALE,
+    build_fabric,
+    busiest_node,
+    publish_mixed,
+    runtime_factory,  # noqa: F401 - pytest fixture re-export
+)
+
+
+def drive_failover(fabric):
+    """Publish, then relocate the busiest node, retiring its channels.
+
+    Stops *before* any post-move traffic: channel keys are process names
+    (machine-independent), so new traffic would re-create — and thereby
+    un-retire — the very edges these tests inspect.
+    """
+    publish_mixed(fabric, 8, spread=10.0)
+    fabric.run()
+    node = busiest_node(fabric)
+    fabric.relocate_node(
+        node.node_id, (node.machine + 1) % fabric.topology.n_nodes
+    )
+
+
+# -- export + verify on both backends ----------------------------------------
+
+
+def test_certificate_includes_channel_section(env32, runtime_factory):
+    fabric = build_fabric(env32, runtime_factory())
+    publish_mixed(fabric, 6, spread=10.0)
+    fabric.run()
+    cert = fabric.export_certificate()
+    channels = cert["channels"]
+    assert channels["retired_count"] == 0
+    assert channels["retired"] == []
+    assert len(channels["live"]) == len(fabric.network.channels)
+    assert verify_certificate(cert) == []
+
+
+def test_failover_certificate_verifies_clean(env32, runtime_factory):
+    """After a relocation the retired edges are recorded, disjoint from
+    the live set, and the certificate still proves GV206 clean."""
+    fabric = build_fabric(env32, runtime_factory())
+    drive_failover(fabric)
+    assert fabric.network.retired_edges  # retirement actually happened
+    cert = fabric.export_certificate()
+    channels = cert["channels"]
+    assert channels["retired_count"] >= len(channels["retired"]) > 0
+    assert not set(map(tuple, channels["live"])) & set(
+        map(tuple, channels["retired"])
+    )
+    assert verify_certificate(cert) == []
+    # Post-move traffic re-creates the moved node's edges; the refreshed
+    # certificate must verify clean with those edges live again.
+    publish_mixed(fabric, 8, spread=10.0, seed=21)
+    fabric.run()
+    refreshed = fabric.export_certificate()
+    assert not set(map(tuple, refreshed["channels"]["live"])) & set(
+        map(tuple, refreshed["channels"]["retired"])
+    )
+    assert verify_certificate(refreshed) == []
+
+
+def test_reconnected_edge_is_live_again(env32):
+    """An edge retired by failover and later re-created must move back to
+    the live set — the exact state GV206 polices."""
+    from repro.runtime.sim_backend import SimTransport
+
+    fabric = build_fabric(env32, SimTransport(seed=0))
+    publish_mixed(fabric, 6, spread=10.0)
+    fabric.run()
+    node = busiest_node(fabric)
+    machine = node.machine
+    fabric.relocate_node(node.node_id, (machine + 1) % fabric.topology.n_nodes)
+    retired_after_first = set(fabric.network.retired_edges)
+    assert retired_after_first
+    # Move it back: the original channels get re-created and must no
+    # longer be reported as retired.
+    fabric.relocate_node(node.node_id, machine)
+    publish_mixed(fabric, 6, spread=10.0, seed=21)
+    fabric.run()
+    live = set(fabric.network.channels)
+    assert not live & set(fabric.network.retired_edges)
+    assert verify_certificate(fabric.export_certificate()) == []
+
+
+def test_certificate_file_round_trip(env32, runtime_factory, tmp_path):
+    fabric = build_fabric(env32, runtime_factory())
+    drive_failover(fabric)
+    path = tmp_path / "cert.json"
+    path.write_text(json.dumps(fabric.export_certificate(), indent=2))
+    cert = load_certificate(path)
+    assert cert["channels"]["retired_count"] > 0
+    assert verify_certificate(cert) == []
+
+
+# -- GV206 adversarial fixtures ----------------------------------------------
+
+
+@pytest.fixture()
+def failover_cert(env32):
+    from repro.runtime.sim_backend import SimTransport
+
+    fabric = build_fabric(env32, SimTransport(seed=0))
+    drive_failover(fabric)
+    cert = fabric.export_certificate()
+    assert verify_certificate(cert) == []
+    return cert
+
+
+def gv206(findings):
+    return [f for f in findings if f.code == "GV206"]
+
+
+def test_gv206_rejects_retired_edge_resurrected_as_live(failover_cert):
+    tampered = copy.deepcopy(failover_cert)
+    tampered["channels"]["live"].append(tampered["channels"]["retired"][0])
+    findings = gv206(verify_certificate(tampered))
+    assert findings
+    assert "retired" in findings[0].message
+
+
+def test_gv206_rejects_duplicate_retirement_records(failover_cert):
+    tampered = copy.deepcopy(failover_cert)
+    tampered["channels"]["retired"].append(tampered["channels"]["retired"][0])
+    assert gv206(verify_certificate(tampered))
+
+
+def test_gv206_rejects_understated_retired_count(failover_cert):
+    tampered = copy.deepcopy(failover_cert)
+    tampered["channels"]["retired_count"] = (
+        len(tampered["channels"]["retired"]) - 1
+    )
+    assert gv206(verify_certificate(tampered))
+
+
+def test_certificates_without_channel_section_still_verify(failover_cert):
+    """Pre-GV206 certificates (no channels section) stay accepted."""
+    legacy = copy.deepcopy(failover_cert)
+    del legacy["channels"]
+    assert verify_certificate(legacy) == []
+
+
+# -- service `check` endpoint (offline, no socket) ---------------------------
+
+
+def test_service_check_endpoint_covers_certificate():
+    from repro.runtime.service import OrderingService
+
+    async def scenario():
+        service = OrderingService(
+            n_hosts=4, seed=0, time_scale=LIVE_TIME_SCALE
+        )
+        try:
+            for host, topic in ((0, "a"), (1, "a"), (1, "b"), (2, "b")):
+                resp = await service.handle(
+                    {"op": "subscribe", "host": host, "topic": topic}
+                )
+                assert resp["ok"]
+            for sender, topic in ((0, "a"), (1, "b")):
+                resp = await service.handle(
+                    {"op": "publish", "sender": sender, "topic": topic,
+                     "payload": topic}
+                )
+                assert resp["ok"]
+            await service.handle({"op": "drain"})
+            return await service.handle({"op": "check"})
+        finally:
+            service.bus.close()
+
+    resp = asyncio.run(scenario())
+    assert resp == {"ok": True, "findings": []}
