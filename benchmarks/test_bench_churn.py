@@ -3,11 +3,16 @@
 "When changes in the group membership are infrequent or along existing
 patterns, we expect very little churn in the sequencing graph."
 
-The benchmark applies a stream of group add/remove operations to an
-incrementally-maintained sequencing graph and measures reconfiguration
-cost: atoms created/retired per operation and how much of the existing
-arrangement survives (surviving atoms keep their relative chain order by
-construction).  Lazy removal is compared against eager splicing.
+Two layers of the same question:
+
+* the **graph** microbenchmark applies a stream of group add/remove
+  operations to an incrementally-maintained sequencing graph and
+  measures reconfiguration cost in atoms created/retired (lazy removal
+  vs eager splicing);
+* the **online campaign** benchmark drives whole fabrics through
+  epoch-fenced online reconfiguration under live traffic
+  (:mod:`repro.faults.churn`): what a switch costs in drained events and
+  how delivery throughput holds across epochs.
 """
 
 import random
@@ -16,6 +21,7 @@ from conftest import bench_runs
 
 from repro.core.sequencing_graph import SequencingGraph
 from repro.experiments.common import format_table
+from repro.faults.churn import ChurnConfig, execute_churn_campaign
 from repro.workloads.zipf import zipf_membership
 
 
@@ -88,3 +94,77 @@ def test_churn_lazy_vs_eager(benchmark, env128, save_result):
     # Lazy keeps more atoms alive at peak (the efficiency-only cost the
     # paper accepts for simpler reconfiguration).
     assert lazy["max_atoms_alive"] >= eager["max_atoms_alive"]
+
+
+def test_online_reconfiguration_campaign(benchmark, save_result):
+    """End-to-end churn through the online epoch-fence path.
+
+    A seeded campaign: sustained join/leave churn applied through
+    epoch-fenced switches on live fabrics, publishes in flight at every
+    cutover.  Measures the fence-drain cost per switch and asserts the
+    cross-epoch invariants stay clean (the benchmark doubles as a
+    large-scale RT32x exercise; fault injection is off so the drain cost
+    is the reconfiguration's own, not failover's).
+    """
+    churn_events = 2 * bench_runs(20)
+    config = ChurnConfig(
+        hosts=48,
+        groups=12,
+        events=120,
+        churn_events=churn_events,
+        switches=6,
+        seed=2,
+        horizon=500.0,
+        loss_rate=0.0,
+        node_crashes=0,
+        host_crashes=0,
+        loss_windows=0,
+        delay_spikes=0,
+        permanent_crash=False,
+        mid_switch_crash=False,
+    )
+
+    run = benchmark.pedantic(
+        lambda: execute_churn_campaign(config), rounds=1, iterations=1
+    )
+    report = run.report
+    switches = [e["switch"] for e in report["epochs"] if e["switch"]]
+    rows = [
+        (
+            e["epoch"],
+            e["groups"],
+            e["published"],
+            e["delivered"],
+            e["switch"]["drain_events"] if e["switch"] else "-",
+            e["switch"]["drain_attempts"] if e["switch"] else "-",
+        )
+        for e in report["epochs"]
+    ]
+    table = format_table(
+        ["epoch", "groups", "published", "delivered", "drain_events",
+         "drain_attempts"],
+        rows,
+        title=(
+            f"A3b: online epoch-fenced churn — {churn_events} membership "
+            f"events over {config.switches} switches, traffic in flight"
+        ),
+    )
+    save_result("a3b_online_churn", table)
+    benchmark.extra_info.update(
+        {
+            "churn_events": churn_events,
+            "switches": len(switches),
+            "drain_events_total": sum(s["drain_events"] for s in switches),
+            "published": report["published"],
+            "delivered": report["delivered"],
+        }
+    )
+
+    # Clean under the full RT30x + RT32x audit, all traffic accounted.
+    assert report["ok"], report["findings"]
+    assert report["published"] == config.events
+    assert report["quiescent"]
+    # Every switch went through the online fence path, first try (no
+    # faults are racing the drain here).
+    assert len(switches) == config.switches
+    assert all(s["online"] and s["drain_attempts"] == 1 for s in switches)

@@ -20,6 +20,10 @@ Three further analyzers audit *behaviour* rather than code or graphs:
   quiescence, publisher FIFO, mutual consistency, causal order, and
   stability.  Used by the fault-injection campaigns in
   :mod:`repro.faults` and the ``repro chaos`` CLI.
+* :mod:`repro.check.churn` — cross-epoch invariants (``RT32x``) for
+  online epoch-fenced reconfiguration: counter continuity over the
+  fence, exactly-once across epochs, fence completeness, joiner clean
+  prefixes, and leaver drains.  Used by ``repro chaos --churn``.
 * :mod:`repro.check.explore` — a schedule-space model checker
   (``MC4xx``): drives the protocol over a controller-chosen delivery
   order (:mod:`repro.runtime.explore_backend`) and enumerates every
@@ -36,6 +40,7 @@ Run the static analyzers with ``repro check`` (see
 ``docs/FAULTS.md``.
 """
 
+from repro.check.churn import EpochLog, collect_epoch_log, verify_churn
 from repro.check.findings import (
     CheckReport,
     Finding,
@@ -63,10 +68,12 @@ from repro.check.simlint import RULES, lint_path, lint_source
 __all__ = [
     "CERTIFICATE_FORMAT",
     "CheckReport",
+    "EpochLog",
     "ExploreConfig",
     "ExploreResult",
     "Finding",
     "RULES",
+    "collect_epoch_log",
     "explore",
     "lint_path",
     "lint_source",
@@ -78,6 +85,7 @@ __all__ = [
     "run_explore_check",
     "sort_findings",
     "verify_certificate",
+    "verify_churn",
     "verify_graph",
     "verify_run",
 ]

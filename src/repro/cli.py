@@ -20,6 +20,11 @@ Subcommands::
     repro check --certificate g.json # audit an exported graph certificate
     repro chaos --runs 3 --seed 0    # seeded fault-injection campaigns with
                                      # failover; nonzero exit on violation
+    repro chaos --churn 50 --switches 5
+                                     # sustained join/leave churn with
+                                     # online epoch-fenced reconfiguration,
+                                     # audited by the RT32x cross-epoch
+                                     # invariants (faults compose in)
     repro explain --stalls           # ordering forensics on a fixed-seed
                                      # chaos run (or --trace run.jsonl):
                                      # per-message journeys, blocking
@@ -283,7 +288,82 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 1 if result.violations else 0
 
 
+def _cmd_chaos_churn(args: argparse.Namespace) -> int:
+    from repro.faults.churn import ChurnConfig, run_churn_campaign
+
+    reports = []
+    failed = 0
+    for run_index in range(args.runs):
+        config = ChurnConfig(
+            hosts=args.hosts,
+            groups=args.groups,
+            events=args.events,
+            churn_events=args.churn,
+            switches=args.switches,
+            seed=args.seed + run_index,
+            horizon=args.horizon,
+            loss_rate=args.loss,
+            heartbeat_interval=args.interval,
+            suspect_after=args.suspect_after,
+            transfer_delay=args.transfer_delay,
+            mid_switch_crash=not args.no_mid_switch_crash,
+            backend=args.backend,
+        )
+        report = run_churn_campaign(config)
+        reports.append(report)
+        if not report["ok"]:
+            failed += 1
+    payload = {
+        "runs": len(reports),
+        "failed": failed,
+        "ok": failed == 0,
+        "reports": reports,
+    }
+    if args.format == "json":
+        rendered = json.dumps(payload, indent=2)
+    else:
+        lines = []
+        for report in reports:
+            seed = report["config"]["seed"]
+            status = "ok" if report["ok"] else "FAIL"
+            switches = [e["switch"] for e in report["epochs"] if e["switch"]]
+            drains = ", ".join(
+                str(s["drain_events"]) for s in switches
+            )
+            lines.append(
+                f"seed {seed}: {status} — {len(report['epochs'])} epoch(s), "
+                f"churn {report['churn_applied']}, "
+                f"published {report['published']}, "
+                f"delivered {report['delivered']}, "
+                f"failovers {report['failovers']}, "
+                f"drain events [{drains}], "
+                f"digest {report['delivery_digest'][:12]}"
+            )
+            if report["mid_switch_crash"]:
+                crash = report["mid_switch_crash"]
+                lines.append(
+                    f"  mid-switch crash: node {crash['node_id']} "
+                    f"at {crash['at']:.1f}ms (permanent)"
+                )
+            for finding in report["findings"]:
+                lines.append(f"  {finding['code']}: {finding['message']}")
+        lines.append(
+            f"{len(reports)} churn run(s), {failed} failed"
+            + ("" if failed == 0 else " — invariant violations above")
+        )
+        rendered = "\n".join(lines)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"churn report written to {args.out}")
+    else:
+        print(rendered)
+    return 0 if failed == 0 else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.churn > 0:
+        return _cmd_chaos_churn(args)
     from repro.faults.campaign import ChaosConfig, run_campaign
 
     reports = []
@@ -752,6 +832,24 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--max-retransmits", type=int, default=None,
         help="per-packet retransmission budget (default: fabric default)",
+    )
+    chaos.add_argument(
+        "--churn", type=int, default=0, metavar="N",
+        help="run a churn campaign instead: N join/leave events composed "
+        "with online epoch-fenced reconfiguration (RT32x audited)",
+    )
+    chaos.add_argument(
+        "--switches", type=int, default=5,
+        help="online epoch switches per churn campaign (with --churn)",
+    )
+    chaos.add_argument(
+        "--backend", choices=("sim", "asyncio"), default="sim",
+        help="runtime backend for churn campaigns (with --churn)",
+    )
+    chaos.add_argument(
+        "--no-mid-switch-crash", action="store_true",
+        help="skip the permanent crash injected mid-epoch-switch "
+        "(with --churn)",
     )
     chaos.add_argument(
         "--format", choices=("text", "json"), default="text",

@@ -164,21 +164,20 @@ class OrderedPubSub:
 
     def _rebuild(self) -> None:
         if self._fabric is not None:
-            if self._fabric.sim.pending:
-                raise OrderingViolation(
-                    "membership changed while messages are in flight; call "
-                    "run() to quiesce before publishing again"
-                )
-            # Preserve delivery history across fabric epochs.
-            for host_id, process in self._fabric.host_processes.items():
-                self._delivered_history[host_id].extend(process.delivered)
             # Epoch switch with state continuity: surviving groups and
             # atoms keep their sequence spaces (see repro.core.reconfigure).
+            # In-flight traffic is fenced and drained online, so a
+            # membership change no longer demands quiescence first.
             from repro.core.reconfigure import reconfigure
 
+            old_fabric = self._fabric
             self._fabric = reconfigure(
-                self._fabric, self.broker.membership, seed=self.seed
+                old_fabric, self.broker.membership, seed=self.seed
             )
+            # Preserve delivery history across fabric epochs — after the
+            # switch, so messages delivered during the fence drain count.
+            for host_id, process in old_fabric.host_processes.items():
+                self._delivered_history[host_id].extend(process.delivered)
         else:
             self._fabric = OrderingFabric(
                 self.broker.membership,

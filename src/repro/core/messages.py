@@ -161,6 +161,25 @@ class Message:
         )
 
 
+@dataclass(frozen=True)
+class EpochFence:
+    """Payload marking the last message of a sequencing space in an epoch.
+
+    During an online epoch switch (:func:`repro.core.reconfigure.
+    reconfigure`) one fence is published through every group's sequencing
+    path.  Because each group's traffic follows a single static path of
+    FIFO reliable links (C1) and receivers deliver in sequence order, a
+    receiver that has delivered the fence has necessarily delivered every
+    message the old epoch sequenced before it — the fence *fences* the
+    in-flight traffic of that space.  Fences consume ordinary group-local
+    and atom sequence numbers but are consumed by the fabric at the
+    receiver instead of being handed to the application.
+    """
+
+    epoch: int
+    group: int
+
+
 def vector_timestamp_bytes(n_nodes: int) -> int:
     """Wire size of a dense vector timestamp over ``n_nodes`` processes.
 

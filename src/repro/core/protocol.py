@@ -42,7 +42,14 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids obs coupling
 
 from repro.core.atoms import AtomRuntime, build_atom_runtimes
 from repro.core.delivery import Blocking, DeliveryState
-from repro.core.messages import ATOM_ENTRY_BYTES, HEADER_BYTES, AtomId, Message, Stamp
+from repro.core.messages import (
+    ATOM_ENTRY_BYTES,
+    HEADER_BYTES,
+    AtomId,
+    EpochFence,
+    Message,
+    Stamp,
+)
 from repro.core.placement import Placement, place
 from repro.core.sequencing_graph import SequencingGraph
 from repro.pubsub.membership import GroupMembership
@@ -356,6 +363,13 @@ class HostProcess(Process):
                 sender=record.sender,
                 publish_time=record.publish_time,
             )
+            if isinstance(final.payload, EpochFence):
+                # Epoch fences advance the hold-back expectations like any
+                # sequenced message but are consumed by the fabric: they
+                # never reach the application log or stability tracking.
+                self._egress_of.pop(final.msg_id, None)
+                self.fabric._fence_delivered(self.host.host_id, final)
+                continue
             self.delivered.append(final)
             self.fabric.trace.record(
                 self.sim.now,
@@ -802,6 +816,18 @@ class OrderingFabric:
         self._next_msg_id = 0
         self._links: Dict[Tuple[Any, Any], _LinkState] = {}
         self.published: Dict[int, Message] = {}
+        #: epoch index of this fabric (bumped by reconfigure())
+        self.epoch = 0
+        #: epoch-fence markers in flight or delivered, by message id —
+        #: kept out of ``published`` so RT3xx audits the application
+        #: traffic only (see repro.core.reconfigure)
+        self.fences: Dict[int, Message] = {}
+        #: group -> members that must deliver the group's fence
+        self.fence_expected: Dict[int, "frozenset[int]"] = {}
+        #: group -> {host -> virtual delivery time} for the group's fence
+        self.fence_delivered: Dict[int, Dict[int, float]] = {}
+        #: filled by reconfigure() with the outgoing switch's statistics
+        self.epoch_switch_stats: Optional[Dict[str, Any]] = None
         #: distribution-phase accounting (see _account_distribution)
         self._delivery_trees: Dict[Tuple[int, int], Any] = {}
         self.distribution_tree_links = 0
@@ -1139,6 +1165,83 @@ class OrderingFabric:
         self._transmit(src, dst, DataPacket(message, ingress))
         return message.msg_id
 
+    # -- epoch fences (online reconfiguration) ------------------------------
+
+    def inject_epoch_fences(self, epoch: int) -> Dict[int, int]:
+        """Publish one :class:`EpochFence` through every group's path.
+
+        Returns ``{group: fence msg_id}``.  Fences take ordinary sequence
+        numbers and travel the normal sequencing path, but are registered
+        in :attr:`fences` instead of :attr:`published` and are consumed
+        at the receiver (never handed to the application).  Once every
+        expected member has delivered its group's fence, every message
+        the old epoch sequenced has been delivered too — the safe point
+        for an online cutover (see :mod:`repro.core.reconfigure`).
+        """
+        return {
+            group: self._publish_fence(group, epoch)
+            for group in sorted(self.graph.groups())
+        }
+
+    def _publish_fence(self, group: int, epoch: int) -> int:
+        members = sorted(self.graph.members(group))
+        sender = members[0]
+        message = Message(
+            msg_id=self._next_msg_id,
+            group=group,
+            sender=sender,
+            payload=EpochFence(epoch=epoch, group=group),
+            publish_time=self.sim.now,
+        )
+        self._next_msg_id += 1
+        self.fences[message.msg_id] = message
+        self.fence_expected[group] = frozenset(members)
+        self.fence_delivered.setdefault(group, {})
+        self.trace.record(
+            self.sim.now,
+            "epoch_fence",
+            phase="publish",
+            msg=message.msg_id,
+            group=group,
+            epoch=epoch,
+            sender=sender,
+        )
+        ingress = self.graph.ingress_atom(group)
+        node = self.placement.node_of(ingress)
+        self._transmit(
+            self.host_processes[sender],
+            self.node_processes[node.node_id],
+            DataPacket(message, ingress),
+        )
+        return message.msg_id
+
+    def _fence_delivered(self, host_id: int, record: "DeliveryRecord") -> None:
+        """Consume an epoch fence at a receiver (not an app delivery)."""
+        fence = record.payload
+        assert isinstance(fence, EpochFence)
+        self.fence_delivered.setdefault(fence.group, {}).setdefault(
+            host_id, self.sim.now
+        )
+        self.trace.record(
+            self.sim.now,
+            "epoch_fence",
+            phase="deliver",
+            msg=record.msg_id,
+            group=fence.group,
+            epoch=fence.epoch,
+            host=host_id,
+        )
+
+    def fences_outstanding(self) -> Dict[int, List[int]]:
+        """Members that have not yet delivered their group's fence."""
+        outstanding: Dict[int, List[int]] = {}
+        for group in sorted(self.fence_expected):
+            delivered = self.fence_delivered.get(group, {})
+            missing = sorted(self.fence_expected[group] - delivered.keys())
+            if missing:
+                outstanding[group] = missing
+        return outstanding
+
     def _send_data(
         self, src: SequencingNodeProcess, target_atom: AtomId, message: Message
     ) -> None:
@@ -1153,7 +1256,12 @@ class OrderingFabric:
 
     def _distribute(self, src: SequencingNodeProcess, message: Message) -> None:
         stamp = message.stamp()
-        members = sorted(self.membership.members(message.group))
+        # Fan out to the *epoch's* member set (the sequencing graph), not
+        # the live membership matrix: during an online reconfiguration the
+        # matrix may already describe the next epoch while this epoch's
+        # traffic is still draining.  While the membership is unchanged the
+        # two sets are identical.
+        members = sorted(self.graph.members(message.group))
         if self.trace.enabled:
             self.trace.record(
                 self.sim.now,
@@ -1162,7 +1270,7 @@ class OrderingFabric:
                 node=src.node_id,
                 members=len(members),
             )
-        if self.track_stability:
+        if self.track_stability and not isinstance(message.payload, EpochFence):
             src.expect_stability_acks(message.msg_id, members)
         for member in members:
             packet = DeliverPacket(
@@ -1195,7 +1303,7 @@ class OrderingFabric:
             from repro.pubsub.multicast import DeliveryTree
 
             members = [
-                self._host_by_id[m].router for m in self.membership.members(group)
+                self._host_by_id[m].router for m in self.graph.members(group)
             ]
             tree = DeliveryTree(self.routing, src.machine, members)
             self._delivery_trees[key] = tree

@@ -12,9 +12,21 @@ The robustness layer of the reproduction (``docs/FAULTS.md``):
   relocate_node` call.
 * :mod:`repro.faults.campaign` — seeded end-to-end chaos campaigns,
   audited by :func:`repro.check.verify_run` (``repro chaos`` CLI).
+* :mod:`repro.faults.churn` — deterministic membership churn (seeded
+  join/leave arrivals over Zipf-popular groups) composed with online
+  epoch-fenced reconfiguration and the fault-plan DSL, audited by the
+  cross-epoch ``RT32x`` invariants (``repro chaos --churn``).
 """
 
 from repro.faults.campaign import ChaosConfig, run_campaign
+from repro.faults.churn import (
+    ChurnConfig,
+    ChurnEvent,
+    ChurnPlan,
+    execute_churn_campaign,
+    random_churn,
+    run_churn_campaign,
+)
 from repro.faults.detector import HeartbeatDetector
 from repro.faults.failover import choose_standby, fail_over, wire_failover
 from repro.faults.plan import (
@@ -31,6 +43,9 @@ from repro.faults.plan import (
 
 __all__ = [
     "ChaosConfig",
+    "ChurnConfig",
+    "ChurnEvent",
+    "ChurnPlan",
     "CrashHost",
     "CrashNode",
     "DelaySpike",
@@ -41,8 +56,11 @@ __all__ = [
     "LossWindow",
     "Partition",
     "choose_standby",
+    "execute_churn_campaign",
     "fail_over",
+    "random_churn",
     "random_plan",
     "run_campaign",
+    "run_churn_campaign",
     "wire_failover",
 ]

@@ -27,6 +27,10 @@ kind             data fields
 ``retransmit``   ``src``, ``dst``, ``cause``
 ``link_failure`` ``src``, ``dst``, ``attempts``
 ``failover``     ``node``, ``old_machine``, ``new_machine``, ``replayed``
+``epoch_fence``  ``phase`` ("publish"/"deliver"), ``msg``, ``group``,
+                 ``epoch``, ``sender`` (publish) / ``host`` (deliver)
+``epoch_switch`` ``phase`` ("begin"/"end"), ``epoch``, ``groups`` (begin)
+                 / ``drain_events`` (end)
 ===============  ==========================================================
 
 The ``atom_seq`` records double as a sequence-space registry: the message
@@ -54,8 +58,17 @@ __all__ = [
 
 #: Attribution vocabulary, most specific first.  ``link_failure`` only
 #: applies to never-drained gaps (an abandoned packet explains a message
-#: that never arrived); ``in_flight`` is the no-evidence fallback.
-CAUSE_PRIORITY = ("failover_replay", "outage", "peer_down", "loss")
+#: that never arrived); ``epoch_switch`` attributes a stall overlapping
+#: an online reconfiguration's fence drain (concrete fault evidence still
+#: wins over it); ``in_flight`` is the no-evidence fallback.
+CAUSE_EPOCH_SWITCH = "epoch_switch"
+CAUSE_PRIORITY = (
+    "failover_replay",
+    "outage",
+    "peer_down",
+    "loss",
+    CAUSE_EPOCH_SWITCH,
+)
 CAUSE_IN_FLIGHT = "in_flight"
 CAUSE_LINK_FAILURE = "link_failure"
 
@@ -159,6 +172,8 @@ class Journey:
     distribute_node: Optional[int] = None
     #: per-receiver legs, keyed by host id
     legs: Dict[int, ReceiverLeg] = field(default_factory=dict)
+    #: True for epoch-fence markers (consumed by the fabric, not the app)
+    is_fence: bool = False
 
     def nodes_visited(self) -> List[int]:
         """Sequencing nodes on the message's path, in visit order."""
@@ -260,6 +275,9 @@ class JourneyIndex:
         self.link_failures: List[Tuple[float, str, str, int]] = []
         #: (time, node id)
         self.failovers: List[Tuple[float, int]] = []
+        #: (begin, end, epoch) per online epoch switch (fence drain window)
+        self.epoch_switches: List[Tuple[float, float, int]] = []
+        self._switch_open: Dict[int, float] = {}
         self.end_time = 0.0
         #: (space key, seq) -> msg_id that was assigned that number
         self._seq_owner: Dict[Tuple[str, int], int] = {}
@@ -314,6 +332,27 @@ class JourneyIndex:
             )
         elif kind == "failover":
             self.failovers.append((record.time, data["node"]))
+        elif kind == "epoch_fence":
+            # Fences travel the normal sequencing path: register a journey
+            # on publish (so their atom_seq records feed the sequence-space
+            # registry — a gap blocked on a fence's number is explainable)
+            # and close the receiver leg on consumption.
+            if data["phase"] == "publish":
+                self.journeys[data["msg"]] = Journey(
+                    msg_id=data["msg"],
+                    group=data["group"],
+                    sender=data["sender"],
+                    publish_time=record.time,
+                    is_fence=True,
+                )
+            else:
+                self._ingest_deliver(record)
+        elif kind == "epoch_switch":
+            if data["phase"] == "begin":
+                self._switch_open[data["epoch"]] = record.time
+            else:
+                begin = self._switch_open.pop(data["epoch"], record.time)
+                self.epoch_switches.append((begin, record.time, data["epoch"]))
 
     def _ingest_atom(self, record: TraceRecord) -> None:
         data = record.data
@@ -382,6 +421,14 @@ class JourneyIndex:
     # -- attribution -------------------------------------------------------
 
     def _attribute_all(self) -> None:
+        # A switch still open when the trace ends (the run stopped mid-
+        # drain) fences everything until the end of the recording.
+        for epoch in sorted(self._switch_open):
+            self.epoch_switches.append(
+                (self._switch_open[epoch], self.end_time, epoch)
+            )
+        self._switch_open.clear()
+        self.epoch_switches.sort()
         for event in self.buffer_events:
             self._attribute(event)
 
@@ -439,6 +486,14 @@ class JourneyIndex:
             if match is not None and src not in match and dst not in match:
                 continue
             evidence[CAUSE_LINK_FAILURE] = evidence.get(CAUSE_LINK_FAILURE, 0) + 1
+        for begin, end, _epoch in self.epoch_switches:
+            # A stall overlapping a fence-drain window is (absent stronger
+            # fault evidence) the reconfiguration itself: the fence holds
+            # the space closed until every member catches up.
+            if begin <= window_end and end >= window_start:
+                evidence[CAUSE_EPOCH_SWITCH] = (
+                    evidence.get(CAUSE_EPOCH_SWITCH, 0) + 1
+                )
         event.evidence = evidence
         event.cause = self._verdict(event, evidence)
 
@@ -532,7 +587,8 @@ class JourneyIndex:
             by_cause[event.cause] = by_cause.get(event.cause, 0) + 1
         return {
             "threshold_ms": threshold,
-            "messages": len(self.journeys),
+            "messages": sum(1 for j in self.journeys.values() if not j.is_fence),
+            "fences": sum(1 for j in self.journeys.values() if j.is_fence),
             "buffer_events": len(self.buffer_events),
             "unresolved": sum(1 for e in self.buffer_events if not e.resolved),
             "by_cause": {k: by_cause[k] for k in sorted(by_cause)},

@@ -129,11 +129,90 @@ def test_remove_group_lazy_retires_but_still_forwards(env32):
         assert all(a not in retired for a in stamped)
 
 
-def test_reconfigure_rejects_inflight(env32):
+def test_reconfigure_strict_mode_rejects_inflight(env32):
     fabric = env32.build_fabric(base_membership())
     fabric.publish(0, 0)
     with pytest.raises(ReconfigurationError):
-        reconfigure(fabric, copy_membership(fabric.membership))
+        reconfigure(fabric, copy_membership(fabric.membership), online=False)
+
+
+def test_online_reconfigure_fences_inflight_traffic(env32):
+    fabric = env32.build_fabric(base_membership())
+    first = fabric.publish(0, 0, "in-flight")
+    # No run(): the message is still on the wire when the switch starts.
+    new_membership = copy_membership(fabric.membership)
+    new_membership.create_group([10, 11], group_id=7)
+    nxt = reconfigure(fabric, new_membership)
+    # The fence drained the old epoch: the in-flight message reached every
+    # member before the cutover, and nothing is buffered.
+    assert [r.payload for r in fabric.delivered(3) if r.stamp.group == 0] == [
+        "in-flight"
+    ]
+    assert fabric.pending_messages() == {}
+    assert fabric.fences_outstanding() == {}
+    stats = fabric.epoch_switch_stats
+    assert stats is not None and stats["online"] and stats["fences"] == 2
+    assert nxt.epoch == fabric.epoch + 1
+    # The fence consumed one group-local number after the in-flight
+    # message, so the next epoch's traffic continues past both.
+    nxt.publish(1, 0, "next-epoch")
+    nxt.run()
+    records = [r for r in nxt.delivered(3) if r.stamp.group == 0]
+    assert [r.payload for r in records] == ["next-epoch"]
+    assert records[0].stamp.group_seq == 3
+    assert records[0].msg_id == first + 3  # two fences took ids in between
+
+
+def test_online_reconfigure_fences_are_not_app_deliveries(env32):
+    fabric = env32.build_fabric(base_membership())
+    fabric.publish(0, 0)
+    before = {h: len(fabric.delivered(h)) for h in range(6)}
+    reconfigure(fabric, copy_membership(fabric.membership))
+    # The drain delivered the in-flight message but consumed the fences:
+    # fences never land in delivered logs or fabric.published.
+    for host, count in before.items():
+        extra = [r.payload for r in fabric.delivered(host)[count:]]
+        assert all(not repr(p).startswith("EpochFence") for p in extra)
+    assert all(m not in fabric.published for m in fabric.fences)
+    assert set(fabric.fence_expected) == {0, 1}
+
+
+def full_scan_group_counters(fabric):
+    """The pre-optimization implementation: scan every atom runtime."""
+    counters = {}
+    for process in fabric.node_processes.values():
+        for runtime in process.atom_runtimes.values():
+            for group, value in runtime.group_local_counters.items():
+                counters[group] = max(counters.get(group, 0), value)
+    return counters
+
+
+def test_group_local_counters_ingress_only_matches_full_scan(env32):
+    from repro.core.reconfigure import group_local_counters
+
+    membership = GroupMembership()
+    membership.create_group([0, 1, 2, 3], group_id=0)
+    membership.create_group([2, 3, 4, 5], group_id=1)
+    membership.create_group([0, 1, 4, 5], group_id=2)
+    membership.create_group([8, 9], group_id=3)  # never published to
+    fabric = env32.build_fabric(membership)
+    rng = random.Random(7)
+    for _ in range(20):
+        group = rng.choice([0, 1, 2])
+        sender = rng.choice(sorted(membership.members(group)))
+        fabric.publish(sender, group)
+    fabric.run()
+    assert group_local_counters(fabric) == full_scan_group_counters(fabric)
+    # ...and across an epoch switch, where carried counters are installed
+    # at (possibly relocated) ingress atoms.
+    new_membership = copy_membership(membership)
+    new_membership.remove_group(3)
+    new_membership.join(2, 7)
+    nxt = reconfigure(fabric, new_membership)
+    nxt.publish(0, 0)
+    nxt.publish(7, 2)
+    nxt.run()
+    assert group_local_counters(nxt) == full_scan_group_counters(nxt)
 
 
 def test_changed_group_restarts_its_space(env32):
