@@ -61,20 +61,32 @@ from repro.check.explore import (
     replay_schedule,
     run_explore_check,
 )
-from repro.check.invariants import verify_run
+from repro.check.invariants import (
+    DeliveredEntry,
+    PublishedEntry,
+    RunView,
+    as_run_view,
+    fabric_view,
+    verify_run,
+)
 from repro.check.runner import run_check
 from repro.check.simlint import RULES, lint_path, lint_source
 
 __all__ = [
     "CERTIFICATE_FORMAT",
     "CheckReport",
+    "DeliveredEntry",
     "EpochLog",
     "ExploreConfig",
     "ExploreResult",
     "Finding",
+    "PublishedEntry",
     "RULES",
+    "RunView",
+    "as_run_view",
     "collect_epoch_log",
     "explore",
+    "fabric_view",
     "lint_path",
     "lint_source",
     "load_certificate",

@@ -8,6 +8,13 @@ liveness properties a fault-injection campaign puts at risk.  The chaos
 runner (:mod:`repro.faults.campaign`) calls :func:`verify_run` after every
 run; tests and the ``repro chaos`` CLI gate on an empty finding list.
 
+Every check runs over a :class:`RunView` — a neutral, backend-free
+projection of one run (per-host delivery logs, membership, published
+messages, residual buffer depths).  A fabric is converted with
+:func:`fabric_view`; the streaming monitors in :mod:`repro.obs.live`
+build the *same* view incrementally from trace records and call the same
+predicates, so the live verdicts and the post-hoc audit cannot drift.
+
 Checks (``RT3xx`` codes, tool ``runtime-verify``):
 
 * **RT300 group order** — all members of a group delivered the group's
@@ -32,7 +39,8 @@ Checks (``RT3xx`` codes, tool ``runtime-verify``):
   delivered by all members of its group (``track_stability`` runs only).
 """
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Set, Tuple, Union
 
 from repro.check.findings import Finding
 
@@ -46,26 +54,126 @@ TOOL = "runtime-verify"
 MAX_FINDINGS_PER_CHECK = 25
 
 
+# ---------------------------------------------------------------------------
+# The run view: one neutral projection both auditors consume
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeliveredEntry:
+    """One application delivery as the auditors see it."""
+
+    msg_id: int
+    group: int
+    sender: int
+    #: virtual time the receiver delivered (not published) the message
+    time: float
+
+
+@dataclass(frozen=True)
+class PublishedEntry:
+    """One published message as the auditors see it."""
+
+    msg_id: int
+    group: int
+    sender: int
+    publish_time: float
+
+
+@dataclass
+class RunView:
+    """A backend-free projection of one run, sufficient for every RT3xx check.
+
+    Built either from a finished fabric (:func:`fabric_view`) or
+    incrementally from ``publish``/``deliver``/``buffer``/``drain`` trace
+    records (:class:`repro.obs.live.LiveMonitor`).  Epoch fences never
+    appear: they are consumed by the fabric before the delivery log and
+    emit ``epoch_fence`` records instead of ``deliver`` ones, so both
+    construction paths exclude them identically.
+    """
+
+    #: host -> application deliveries in delivery order
+    delivered: Dict[int, List[DeliveredEntry]]
+    #: group -> member set
+    membership: Dict[int, FrozenSet[int]]
+    #: msg_id -> publication facts (fences excluded)
+    published: Dict[int, PublishedEntry]
+    #: host -> messages still parked in the hold-back buffer (only > 0)
+    pending: Dict[int, int] = field(default_factory=dict)
+    track_stability: bool = False
+    #: host -> msg ids learned stable (``track_stability`` runs only)
+    stable_ids: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def hosts(self) -> List[int]:
+        return sorted(self.delivered)
+
+    def groups(self) -> List[int]:
+        return sorted(self.membership)
+
+    def members(self, group: int) -> FrozenSet[int]:
+        return self.membership.get(group, frozenset())
+
+
+RunLike = Union["OrderingFabric", RunView]
+
+
+def fabric_view(fabric: "OrderingFabric") -> RunView:
+    """Project a finished fabric into a :class:`RunView`."""
+    return RunView(
+        delivered={
+            host_id: [
+                DeliveredEntry(r.msg_id, r.stamp.group, r.sender, r.time)
+                for r in process.delivered
+            ]
+            for host_id, process in fabric.host_processes.items()
+        },
+        membership={
+            group: frozenset(fabric.membership.members(group))
+            for group in fabric.membership.groups()
+        },
+        published={
+            msg_id: PublishedEntry(
+                msg_id, message.group, message.sender, message.publish_time
+            )
+            for msg_id, message in fabric.published.items()
+        },
+        pending=dict(fabric.pending_messages()),
+        track_stability=fabric.track_stability,
+        stable_ids={
+            host_id: set(process.stable_ids)
+            for host_id, process in fabric.host_processes.items()
+        },
+    )
+
+
+def as_run_view(run: RunLike) -> RunView:
+    """Coerce a fabric (or pass through a view) for the check functions."""
+    if isinstance(run, RunView):
+        return run
+    return fabric_view(run)
+
+
 def _finding(code: str, message: str, anchor: str) -> Finding:
     return Finding(code=code, message=message, anchor=anchor, tool=TOOL)
 
 
-def _delivered_ids(fabric: "OrderingFabric", host_id: int) -> List[int]:
-    return [r.msg_id for r in fabric.host_processes[host_id].delivered]
+def _delivered_ids(view: RunView, host_id: int) -> List[int]:
+    return [r.msg_id for r in view.delivered.get(host_id, [])]
 
 
-def check_group_order(fabric: "OrderingFabric") -> List[Finding]:
+def check_group_order(run: RunLike) -> List[Finding]:
     """RT300: members of each group delivered its messages identically."""
+    view = as_run_view(run)
     findings: List[Finding] = []
-    for group in sorted(fabric.membership.groups()):
-        members = sorted(fabric.membership.members(group))
+    for group in view.groups():
+        members = sorted(view.members(group))
         reference: List[int] = []
         reference_host = -1
         for host_id in members:
             order = [
                 r.msg_id
-                for r in fabric.host_processes[host_id].delivered
-                if r.stamp.group == group
+                for r in view.delivered.get(host_id, [])
+                if r.group == group
             ]
             if reference_host < 0:
                 reference = order
@@ -85,15 +193,14 @@ def check_group_order(fabric: "OrderingFabric") -> List[Finding]:
     return findings
 
 
-def check_exactly_once(
-    fabric: "OrderingFabric", complete: bool = True
-) -> List[Finding]:
+def check_exactly_once(run: RunLike, complete: bool = True) -> List[Finding]:
     """RT301/RT302: no duplicates; every message reached every member."""
+    view = as_run_view(run)
     findings: List[Finding] = []
     counts: Dict[int, Dict[int, int]] = {}
-    for host_id in sorted(fabric.host_processes):
+    for host_id in view.hosts():
         per_host: Dict[int, int] = {}
-        for msg_id in _delivered_ids(fabric, host_id):
+        for msg_id in _delivered_ids(view, host_id):
             per_host[msg_id] = per_host.get(msg_id, 0) + 1
         counts[host_id] = per_host
         duplicates = sorted(m for m, n in per_host.items() if n > 1)
@@ -108,11 +215,11 @@ def check_exactly_once(
             )
     if not complete:
         return findings
-    for msg_id in sorted(fabric.published):
-        message = fabric.published[msg_id]
+    for msg_id in sorted(view.published):
+        message = view.published[msg_id]
         missing = [
             member
-            for member in sorted(fabric.membership.members(message.group))
+            for member in sorted(view.members(message.group))
             if counts.get(member, {}).get(msg_id, 0) == 0
         ]
         if missing:
@@ -129,8 +236,9 @@ def check_exactly_once(
     return findings
 
 
-def check_no_residual_buffering(fabric: "OrderingFabric") -> List[Finding]:
+def check_no_residual_buffering(run: RunLike) -> List[Finding]:
     """RT303: the run quiesced with empty hold-back buffers everywhere."""
+    view = as_run_view(run)
     return [
         _finding(
             "RT303",
@@ -138,21 +246,22 @@ def check_no_residual_buffering(fabric: "OrderingFabric") -> List[Finding]:
             "message(s) — a sequencing gap survived the run",
             f"host {host_id}",
         )
-        for host_id, pending in sorted(fabric.pending_messages().items())
+        for host_id, pending in sorted(view.pending.items())
     ]
 
 
-def check_publisher_fifo(fabric: "OrderingFabric") -> List[Finding]:
+def check_publisher_fifo(run: RunLike) -> List[Finding]:
     """RT304: per (publisher, group) delivery follows publication order.
 
     Message ids are allocated in publication order, so within one
     publisher and group the delivered id subsequence must be increasing.
     """
+    view = as_run_view(run)
     findings: List[Finding] = []
-    for host_id in sorted(fabric.host_processes):
+    for host_id in view.hosts():
         last_seen: Dict[Tuple[int, int], int] = {}
-        for record in fabric.host_processes[host_id].delivered:
-            key = (record.sender, record.stamp.group)
+        for record in view.delivered.get(host_id, []):
+            key = (record.sender, record.group)
             previous = last_seen.get(key, -1)
             if record.msg_id < previous:
                 findings.append(
@@ -160,7 +269,7 @@ def check_publisher_fifo(fabric: "OrderingFabric") -> List[Finding]:
                         "RT304",
                         f"host {host_id} delivered message {record.msg_id} "
                         f"after {previous} from the same publisher "
-                        f"{record.sender} in group {record.stamp.group}",
+                        f"{record.sender} in group {record.group}",
                         f"host {host_id}",
                     )
                 )
@@ -171,11 +280,12 @@ def check_publisher_fifo(fabric: "OrderingFabric") -> List[Finding]:
     return findings
 
 
-def check_mutual_consistency(fabric: "OrderingFabric") -> List[Finding]:
+def check_mutual_consistency(run: RunLike) -> List[Finding]:
     """RT305: pairwise agreement on the order of commonly delivered messages."""
+    view = as_run_view(run)
     findings: List[Finding] = []
-    host_ids = sorted(fabric.host_processes)
-    orders = {h: _delivered_ids(fabric, h) for h in host_ids}
+    host_ids = view.hosts()
+    orders = {h: _delivered_ids(view, h) for h in host_ids}
     for i, a in enumerate(host_ids):
         seq_a = orders[a]
         set_a = set(seq_a)
@@ -200,7 +310,7 @@ def check_mutual_consistency(fabric: "OrderingFabric") -> List[Finding]:
     return findings
 
 
-def check_causal_order(fabric: "OrderingFabric") -> List[Finding]:
+def check_causal_order(run: RunLike) -> List[Finding]:
     """RT306: publish-after-deliver dependencies respected everywhere.
 
     For each message ``m'``, its causal dependencies are the messages its
@@ -209,22 +319,20 @@ def check_causal_order(fabric: "OrderingFabric") -> List[Finding]:
     same virtual instant as the publish are skipped (ordering within one
     instant is not observable from the logs).
     """
+    view = as_run_view(run)
     findings: List[Finding] = []
     positions: Dict[int, Dict[int, int]] = {
         host_id: {
             r.msg_id: index
-            for index, r in enumerate(fabric.host_processes[host_id].delivered)
+            for index, r in enumerate(view.delivered.get(host_id, []))
         }
-        for host_id in sorted(fabric.host_processes)
+        for host_id in view.hosts()
     }
-    for msg_id in sorted(fabric.published):
-        message = fabric.published[msg_id]
-        publisher = fabric.host_processes.get(message.sender)
-        if publisher is None:
-            continue
+    for msg_id in sorted(view.published):
+        message = view.published[msg_id]
         dependencies = [
             r.msg_id
-            for r in publisher.delivered
+            for r in view.delivered.get(message.sender, [])
             if r.time < message.publish_time
         ]
         if not dependencies:
@@ -251,23 +359,24 @@ def check_causal_order(fabric: "OrderingFabric") -> List[Finding]:
     return findings
 
 
-def check_stability(fabric: "OrderingFabric") -> List[Finding]:
+def check_stability(run: RunLike) -> List[Finding]:
     """RT307: stability notices imply delivery at every group member."""
+    view = as_run_view(run)
     findings: List[Finding] = []
-    if not fabric.track_stability:
+    if not view.track_stability:
         return findings
     delivered_sets = {
-        host_id: set(_delivered_ids(fabric, host_id))
-        for host_id in sorted(fabric.host_processes)
+        host_id: set(_delivered_ids(view, host_id))
+        for host_id in view.hosts()
     }
-    for host_id in sorted(fabric.host_processes):
-        for msg_id in sorted(fabric.host_processes[host_id].stable_ids):
-            message = fabric.published.get(msg_id)
+    for host_id in sorted(view.stable_ids):
+        for msg_id in sorted(view.stable_ids[host_id]):
+            message = view.published.get(msg_id)
             if message is None:
                 continue
             missing = [
                 member
-                for member in sorted(fabric.membership.members(message.group))
+                for member in sorted(view.members(message.group))
                 if msg_id not in delivered_sets.get(member, set())
             ]
             if missing:
@@ -285,7 +394,7 @@ def check_stability(fabric: "OrderingFabric") -> List[Finding]:
 
 
 def verify_run(
-    fabric: "OrderingFabric",
+    run: RunLike,
     complete: bool = True,
     causal: bool = True,
     mutual: bool = True,
@@ -294,8 +403,10 @@ def verify_run(
 
     Parameters
     ----------
-    fabric:
-        A fabric whose simulation has run to quiescence.
+    run:
+        A fabric whose simulation has run to quiescence, or an
+        already-built :class:`RunView` (the streaming monitors pass one,
+        so the live verdicts go through the exact same predicates).
     complete:
         Also require every published message delivered at every member
         (RT302) — disable for runs that intentionally abandon traffic.
@@ -308,14 +419,15 @@ def verify_run(
 
     Returns the (possibly empty) list of findings, deterministic in order.
     """
+    view = as_run_view(run)
     findings: List[Finding] = []
-    findings.extend(check_group_order(fabric))
-    findings.extend(check_exactly_once(fabric, complete=complete))
-    findings.extend(check_no_residual_buffering(fabric))
-    findings.extend(check_publisher_fifo(fabric))
+    findings.extend(check_group_order(view))
+    findings.extend(check_exactly_once(view, complete=complete))
+    findings.extend(check_no_residual_buffering(view))
+    findings.extend(check_publisher_fifo(view))
     if mutual:
-        findings.extend(check_mutual_consistency(fabric))
+        findings.extend(check_mutual_consistency(view))
     if causal:
-        findings.extend(check_causal_order(fabric))
-    findings.extend(check_stability(fabric))
+        findings.extend(check_causal_order(view))
+    findings.extend(check_stability(view))
     return findings

@@ -56,6 +56,10 @@ SIM_SCOPED_PREFIXES = (
     "repro.runtime",
     "repro.obs.profiler",
     "repro.obs.bench",
+    # The live telemetry plane consumes the trace stream in-path; its
+    # alert feeds are byte-compared across fixed-seed runs, so it must
+    # be a pure function of the record stream (virtual time only).
+    "repro.obs.live",
 )
 
 #: dotted module prefixes in which the "async"-scoped rules (the

@@ -38,6 +38,17 @@ Subcommands::
     repro bench --compare BENCH_old.json BENCH_new.json --threshold 0.25
                                      # diff two reports; nonzero exit on
                                      # a wall-time regression
+    repro bench --history benchmarks/results/BENCH_history.jsonl
+                                     # render the append-only baseline
+                                     # history table (one line per commit)
+    repro chaos --live-monitor       # attach the streaming invariant
+                                     # monitors; the report gains a
+                                     # live_monitor block whose findings
+                                     # must agree with the post-hoc audit
+    repro top --replay run.jsonl     # operator view: replay a JSONL trace
+                                     # through the streaming monitors
+    repro top --connect PORT         # ... or poll a running `repro serve`
+                                     # instance's metrics verb live
 
 Also runnable as ``python -m repro.cli``.
 """
@@ -309,9 +320,12 @@ def _cmd_chaos_churn(args: argparse.Namespace) -> int:
             mid_switch_crash=not args.no_mid_switch_crash,
             backend=args.backend,
         )
-        report = run_churn_campaign(config)
+        report = run_churn_campaign(config, live_monitor=args.live_monitor)
         reports.append(report)
-        if not report["ok"]:
+        bad = not report["ok"]
+        if args.live_monitor and not report["live_monitor"]["agrees_with_audit"]:
+            bad = True
+        if bad:
             failed += 1
     payload = {
         "runs": len(reports),
@@ -347,6 +361,15 @@ def _cmd_chaos_churn(args: argparse.Namespace) -> int:
                 )
             for finding in report["findings"]:
                 lines.append(f"  {finding['code']}: {finding['message']}")
+            live = report.get("live_monitor")
+            if live is not None:
+                agree = "agrees" if live["agrees_with_audit"] else "DISAGREES"
+                lines.append(
+                    f"  live monitor: {live['violations']} violation(s), "
+                    f"{live['warnings']} warning(s) over "
+                    f"{len(live['epoch_agreement'])} epoch(s) — "
+                    f"{agree} with the post-hoc audit"
+                )
         lines.append(
             f"{len(reports)} churn run(s), {failed} failed"
             + ("" if failed == 0 else " — invariant violations above")
@@ -381,9 +404,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             transfer_delay=args.transfer_delay,
             max_retransmits=args.max_retransmits,
         )
-        report = run_campaign(config)
+        report = run_campaign(
+            config,
+            live_monitor=args.live_monitor,
+            mutate=args.monitor_mutate,
+        )
         reports.append(report)
-        if not report["ok"]:
+        bad = not report["ok"]
+        if args.live_monitor and not report["live_monitor"]["agrees_with_audit"]:
+            bad = True
+        if bad:
             failed += 1
     payload = {
         "runs": len(reports),
@@ -419,6 +449,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             )
             for finding in report["findings"]:
                 lines.append(f"  {finding['code']}: {finding['message']}")
+            live = report.get("live_monitor")
+            if live is not None:
+                agree = "agrees" if live["agrees_with_audit"] else "DISAGREES"
+                lines.append(
+                    f"  live monitor: {len(live['alerts'])} alert(s) "
+                    f"({live['violations']} violation(s), "
+                    f"{live['warnings']} warning(s)) — "
+                    f"{agree} with the post-hoc audit"
+                )
         lines.append(
             f"{len(reports)} run(s), {failed} failed"
             + ("" if failed == 0 else " — invariant violations above")
@@ -566,6 +605,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import exporters
     from repro.obs import spans as spans_mod
     from repro.obs.hooks import profiler_to_registry
+    from repro.obs.live import PHASES, PhaseLatencyTracker
     from repro.obs.profiler import PhaseProfiler
     from repro.obs.registry import MetricsRegistry
     from repro.obs.resources import GcPauseSampler, register_process_collectors
@@ -582,6 +622,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         membership, seed=args.seed, trace=True, registry=registry,
         profiler=profiler,
     )
+    latency = PhaseLatencyTracker(registry=registry)
+    fabric.trace.subscribe(latency.observe)
     groups = sorted(snapshot)
     with gc_sampler:
         for _ in range(args.events):
@@ -603,6 +645,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print()
     print("per-group mean phase latency breakdown:")
     print(spans_mod.render_phase_table(breakdown))
+    print()
+    print("per-phase latency percentiles (virtual ms):")
+    summary = latency.summary()
+    print(f"{'phase':<12}{'count':>8}{'p50':>10}{'p99':>10}{'p999':>10}{'max':>10}")
+    for phase in PHASES:
+        stats = summary[phase]
+        print(
+            f"{phase:<12}{int(stats['count']):>8}"
+            f"{stats['p50']:>10.3f}{stats['p99']:>10.3f}"
+            f"{stats['p999']:>10.3f}{stats['max']:>10.3f}"
+        )
     if profiler is not None:
         profiler.take_sample(fabric.sim.now)
         profiler_to_registry(profiler, registry)
@@ -631,6 +684,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.list:
         print(bench.list_suites())
         return 0
+    if args.history:
+        records = bench.read_history(args.history)
+        if args.format == "json":
+            print(json.dumps(records, indent=2, sort_keys=True))
+        else:
+            print(bench.render_history(records))
+        return 0
     if args.compare:
         old = bench.read_report(args.compare[0])
         new = bench.read_report(args.compare[1])
@@ -653,11 +713,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.out:
         path = bench.write_report(report, args.out)
         print(f"bench report written to {path}")
+    if args.append_history:
+        path = bench.append_history(
+            report, args.append_history, commit=args.commit
+        )
+        print(f"baseline history appended to {path}")
     if args.format == "json" and not args.out:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(bench.render_report(report))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.live import top
+
+    if (args.replay is None) == (args.connect is None):
+        print(
+            "repro top: exactly one of --replay FILE or --connect PORT "
+            "is required",
+            file=sys.stderr,
+        )
+        return 2
+    clear = not args.no_clear and sys.stdout.isatty()
+    try:
+        if args.replay is not None:
+            frames = top.iter_replay(
+                args.replay,
+                window_ms=args.window,
+                stall_threshold_ms=args.stall_threshold,
+            )
+        else:
+            frames = top.iter_live(
+                args.host, args.connect,
+                interval=args.interval, frames=args.frames,
+            )
+        last = top.run_top(frames, clear=clear)
+    except KeyboardInterrupt:
+        print()
+        return 0
+    return 1 if last.violations else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -852,6 +947,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(with --churn)",
     )
     chaos.add_argument(
+        "--live-monitor", action="store_true",
+        help="attach the streaming invariant monitors (LM3xx) to the run; "
+        "the report gains a live_monitor block and the exit status also "
+        "fails if the live findings disagree with the post-hoc audit",
+    )
+    chaos.add_argument(
+        "--monitor-mutate",
+        choices=("skip-stamp", "drop-delivery", "dup-delivery"),
+        default=None,
+        help="inject a seeded protocol mutation before the campaign "
+        "(monitor validation: the streaming monitors must fire)",
+    )
+    chaos.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="report format (default: text)",
     )
@@ -982,10 +1090,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list suites and workloads"
     )
     bench.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="render the append-only baseline history table and exit",
+    )
+    bench.add_argument(
+        "--append-history", default=None, metavar="FILE",
+        help="after the run, append a compact baseline record here "
+        "(benchmarks/results/BENCH_history.jsonl)",
+    )
+    bench.add_argument(
+        "--commit", default="",
+        help="commit hash recorded with --append-history",
+    )
+    bench.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="report format (default: text)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    top = sub.add_parser(
+        "top",
+        help="refreshing operator view: throughput, phase latency "
+        "percentiles, hold-back occupancy, monitor alerts",
+    )
+    top.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="replay this trace JSONL through the streaming monitors",
+    )
+    top.add_argument(
+        "--connect", type=int, default=None, metavar="PORT",
+        help="poll a running `repro serve` instance's metrics verb",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="poll interval in wall seconds (with --connect)",
+    )
+    top.add_argument(
+        "--frames", type=int, default=None,
+        help="stop after N frames (with --connect; default: until q/Ctrl-C)",
+    )
+    top.add_argument(
+        "--window", type=float, default=100.0,
+        help="virtual ms of trace per frame (with --replay)",
+    )
+    top.add_argument(
+        "--stall-threshold", type=float, default=None,
+        help="hold-back stall alert threshold in virtual ms (with --replay)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (CI/log friendly)",
+    )
+    top.set_defaults(func=_cmd_top)
     return parser
 
 

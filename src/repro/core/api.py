@@ -113,6 +113,24 @@ class OrderedPubSub:
         #: optional application callback ``(host_id, DeliveryRecord)``,
         #: invoked on every delivery and persisted across fabric epochs
         self.on_deliver: Optional[Callable[[int, DeliveryRecord], None]] = None
+        #: callbacks invoked with every (re)built fabric; lets observers
+        #: (telemetry, monitors) re-attach across epoch switches without
+        #: the core importing them
+        self._fabric_observers: List[Callable[[OrderingFabric], None]] = []
+
+    def add_fabric_observer(
+        self, observer: Callable[[OrderingFabric], None]
+    ) -> None:
+        """Register a callback invoked with each (re)built fabric.
+
+        Fires immediately when a fabric already exists, then again after
+        every epoch switch — the hook observability layers (e.g.
+        :class:`repro.obs.live.LiveMonitor`) use to follow the bus across
+        reconfigurations.
+        """
+        self._fabric_observers.append(observer)
+        if self._fabric is not None:
+            observer(self._fabric)
 
     def _dispatch_deliver(self, host_id: int, record: DeliveryRecord) -> None:
         if self.on_deliver is not None:
@@ -191,6 +209,8 @@ class OrderedPubSub:
             )
         self._fabric.on_deliver = self._dispatch_deliver
         self._dirty = False
+        for observer in self._fabric_observers:
+            observer(self._fabric)
 
     def _make_runtime(self) -> Optional[RuntimeBackend]:
         """First-epoch runtime for the selected backend.

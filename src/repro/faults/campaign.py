@@ -36,6 +36,7 @@ from repro.faults.detector import HeartbeatDetector
 from repro.faults.failover import wire_failover
 from repro.faults.plan import FaultPlan, random_plan
 from repro.obs.forensics import JourneyIndex
+from repro.obs.live import LiveMonitor
 from repro.workloads.zipf import zipf_membership
 
 __all__ = ["CampaignRun", "ChaosConfig", "execute_campaign", "run_campaign"]
@@ -143,10 +144,15 @@ class CampaignRun:
     fabric: Any
     detector: HeartbeatDetector
     plan: FaultPlan
+    #: the streaming monitor, when the campaign ran with one attached
+    monitor: Optional[LiveMonitor] = None
 
 
 def run_campaign(
-    config: ChaosConfig, plan: Optional[FaultPlan] = None
+    config: ChaosConfig,
+    plan: Optional[FaultPlan] = None,
+    live_monitor: bool = False,
+    mutate: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one seeded chaos campaign; return its JSON-able report.
 
@@ -154,13 +160,17 @@ def run_campaign(
     inject hand-built compositions); everything else still derives from
     ``config.seed``.
     """
-    return execute_campaign(config, plan).report
+    return execute_campaign(
+        config, plan, live_monitor=live_monitor, mutate=mutate
+    ).report
 
 
 def execute_campaign(
     config: ChaosConfig,
     plan: Optional[FaultPlan] = None,
     profiler: Optional[Any] = None,
+    live_monitor: bool = False,
+    mutate: Optional[str] = None,
 ) -> CampaignRun:
     """Run one seeded chaos campaign; return report *and* live fabric.
 
@@ -168,6 +178,18 @@ def execute_campaign(
     hot-path phase profiling to the campaign's fabric — used by ``repro
     bench`` to break a chaos workload's wall time down by phase.  It
     observes wall time only and cannot change the campaign's outcome.
+
+    ``live_monitor`` attaches a :class:`repro.obs.live.LiveMonitor` to the
+    fabric's trace before any traffic runs; the report then carries a
+    ``live_monitor`` block with the streaming alert feed, per-phase
+    latency percentiles, and — because the monitor retains an audit view
+    built purely from the stream — an ``agrees_with_audit`` bit asserting
+    its post-hoc findings are identical to the fabric audit's.
+
+    ``mutate`` applies a protocol mutation from
+    :data:`repro.check.explore.MUTATIONS` (e.g. ``"dup-delivery"``)
+    before traffic — the negative control proving the monitors actually
+    fire (used by the CI ``live-monitor`` job).
     """
     config.validate()
     env = ExperimentEnv(n_hosts=config.hosts, seed=config.seed)
@@ -209,6 +231,19 @@ def execute_campaign(
         )
     plan.apply(fabric)
 
+    monitor: Optional[LiveMonitor] = None
+    if live_monitor:
+        monitor = LiveMonitor(node=f"chaos:{config.seed}")
+        monitor.attach(fabric)
+    if mutate is not None:
+        from repro.check.explore import MUTATIONS
+
+        if mutate not in MUTATIONS:
+            raise ValueError(
+                f"unknown mutation {mutate!r} (have {sorted(MUTATIONS)})"
+            )
+        MUTATIONS[mutate](fabric)
+
     groups = sorted(membership.groups())
     members_of = {g: sorted(membership.members(g)) for g in groups}
     for time, sender, group in _publish_schedule(config, groups, members_of):
@@ -233,16 +268,8 @@ def execute_campaign(
     quiescent = fabric.sim.pending == 0
 
     findings = verify_run(fabric, complete=True, causal=config.check_causal)
-    finding_dicts = [
-        {
-            "code": f.code,
-            "message": f.message,
-            "severity": f.severity,
-            "anchor": f.anchor,
-            "tool": f.tool,
-        }
-        for f in findings
-    ]
+    audit_dicts = _finding_dicts(findings)
+    finding_dicts = list(audit_dicts)
     if not quiescent:
         finding_dicts.append(
             {
@@ -305,6 +332,27 @@ def execute_campaign(
         "findings": finding_dicts,
         "ok": not finding_dicts,
     }
+    if mutate is not None:
+        report["mutation"] = mutate
+    if monitor is not None:
+        monitor.detach()
+        live_dicts = _finding_dicts(
+            monitor.final_findings(complete=True, causal=config.check_causal)
+        )
+        report["live_monitor"] = {
+            "alerts": [alert.to_dict() for alert in monitor.alerts],
+            "alerts_dropped": monitor.alerts_dropped,
+            "violations": monitor.violations,
+            "warnings": sum(
+                1 for alert in monitor.alerts if alert.severity == "warning"
+            ),
+            "findings": live_dicts,
+            # The streamed audit view must reproduce the fabric audit's
+            # verdicts exactly (RT310 non-quiescence is simulator state,
+            # not a delivery-log property, so it is excluded).
+            "agrees_with_audit": live_dicts == audit_dicts,
+            "phases": monitor.latency.summary(),
+        }
     if finding_dicts and fabric.trace.enabled:
         # Explain the failure in the report itself: full stall attribution
         # (threshold 0 = every buffer event) so CI logs name the blocking
@@ -312,4 +360,24 @@ def execute_campaign(
         report["forensics"] = JourneyIndex(fabric.trace).stall_report(
             threshold=0.0
         )
-    return CampaignRun(report=report, fabric=fabric, detector=detector, plan=plan)
+    return CampaignRun(
+        report=report,
+        fabric=fabric,
+        detector=detector,
+        plan=plan,
+        monitor=monitor,
+    )
+
+
+def _finding_dicts(findings: List[Any]) -> List[Dict[str, Any]]:
+    """Project findings to the report's JSON shape (shared by both audits)."""
+    return [
+        {
+            "code": f.code,
+            "message": f.message,
+            "severity": f.severity,
+            "anchor": f.anchor,
+            "tool": f.tool,
+        }
+        for f in findings
+    ]

@@ -58,6 +58,7 @@ from repro.faults.detector import HeartbeatDetector
 from repro.faults.failover import wire_failover
 from repro.faults.plan import CrashNode, FaultAction, FaultPlan, random_plan
 from repro.obs.forensics import JourneyIndex
+from repro.obs.live import LiveMonitor
 from repro.workloads.zipf import zipf_membership
 
 __all__ = [
@@ -273,11 +274,15 @@ class ChurnCampaignRun:
     epoch_logs: List[EpochLog]
     plan: FaultPlan
     churn: ChurnPlan
+    #: the streaming monitor, when the campaign ran with one attached
+    monitor: Optional[LiveMonitor] = None
 
 
-def run_churn_campaign(config: ChurnConfig) -> Dict[str, Any]:
+def run_churn_campaign(
+    config: ChurnConfig, live_monitor: bool = False
+) -> Dict[str, Any]:
     """Run one seeded churn campaign; return its JSON-able report."""
-    return execute_churn_campaign(config).report
+    return execute_churn_campaign(config, live_monitor=live_monitor).report
 
 
 def _make_runtime(config: ChurnConfig) -> Optional[Any]:
@@ -385,8 +390,18 @@ def _delivery_digest(logs: List[EpochLog]) -> str:
     return digest.hexdigest()
 
 
-def execute_churn_campaign(config: ChurnConfig) -> ChurnCampaignRun:
-    """Run one seeded churn campaign; return report *and* live state."""
+def execute_churn_campaign(
+    config: ChurnConfig, live_monitor: bool = False
+) -> ChurnCampaignRun:
+    """Run one seeded churn campaign; return report *and* live state.
+
+    ``live_monitor`` attaches a :class:`repro.obs.live.LiveMonitor` to
+    each epoch's fabric (re-attached across every online switch, so the
+    fence-drain traffic streams through it too).  The monitor's streamed
+    audit view is compared with the per-epoch fabric audit inside
+    :func:`close_epoch`; the report's ``live_monitor`` block records the
+    per-epoch agreement and the cumulative alert feed.
+    """
     config.validate()
     env = ExperimentEnv(n_hosts=config.hosts, seed=config.seed)
     snapshot = zipf_membership(
@@ -437,6 +452,11 @@ def execute_churn_campaign(config: ChurnConfig) -> ChurnCampaignRun:
     failover_total = 0
     base = 0.0
     next_bound = batches[0][0] if batches else None
+    monitor: Optional[LiveMonitor] = None
+    epoch_agreement: List[Dict[str, Any]] = []
+    if live_monitor:
+        monitor = LiveMonitor(node=f"churn:{config.seed}")
+        monitor.attach(fabric)
     pub_cursor = _schedule_publishes(
         fabric, base, publish_times, 0, next_bound, pub_rng
     )
@@ -466,6 +486,23 @@ def execute_churn_campaign(config: ChurnConfig) -> ChurnCampaignRun:
         epoch_findings = verify_run(
             ending, complete=True, causal=config.check_causal
         )
+        if monitor is not None:
+            # Per-epoch agreement: the monitor's streamed view must yield
+            # the exact findings the fabric audit just produced.
+            live_dicts = _finding_dicts(
+                monitor.final_findings(
+                    complete=True, causal=config.check_causal
+                ),
+                ending.epoch,
+            )
+            epoch_agreement.append(
+                {
+                    "epoch": ending.epoch,
+                    "agrees": live_dicts
+                    == _finding_dicts(epoch_findings, ending.epoch),
+                    "live_findings": len(live_dicts),
+                }
+            )
         findings.extend(_finding_dicts(epoch_findings, ending.epoch))
         failover_total += len(ending.failovers)
         stats = ending.epoch_switch_stats or {}
@@ -553,6 +590,10 @@ def execute_churn_campaign(config: ChurnConfig) -> ChurnCampaignRun:
         # The old epoch ends here; audit it and roll the clock forward.
         base += old.sim.now
         close_epoch(old, online_switch=bool(old.fence_expected))
+        if monitor is not None:
+            # Follow the bus into the new epoch: fresh streaming window
+            # and audit view, cumulative alerts and latency retained.
+            monitor.attach(fabric)
         start_counters = (group_local_counters(fabric), atom_counters(fabric))
         next_bound = (
             batches[index + 1][0] if index + 1 < len(batches) else None
@@ -641,6 +682,21 @@ def execute_churn_campaign(config: ChurnConfig) -> ChurnCampaignRun:
         "findings": findings,
         "ok": not findings,
     }
+    if monitor is not None:
+        monitor.detach()
+        report["live_monitor"] = {
+            "alerts": [alert.to_dict() for alert in monitor.alerts],
+            "alerts_dropped": monitor.alerts_dropped,
+            "violations": monitor.violations,
+            "warnings": sum(
+                1 for alert in monitor.alerts if alert.severity == "warning"
+            ),
+            "epoch_agreement": epoch_agreement,
+            "agrees_with_audit": all(
+                entry["agrees"] for entry in epoch_agreement
+            ),
+            "phases": monitor.latency.summary(),
+        }
     if findings:
         # Explain the failure: stall attribution for every epoch that
         # produced findings (fence drains show up as cause=epoch_switch).
@@ -661,4 +717,5 @@ def execute_churn_campaign(config: ChurnConfig) -> ChurnCampaignRun:
         epoch_logs=logs,
         plan=plan,
         churn=churn,
+        monitor=monitor,
     )

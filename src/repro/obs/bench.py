@@ -236,6 +236,7 @@ def _obs_overhead_workload(hosts: int, groups: int, events: int) -> Workload:
 
     def run(seed: int, profiler: Optional[PhaseProfiler]) -> Dict[str, Any]:
         from repro.experiments.common import ExperimentEnv
+        from repro.obs.live import LiveMonitor
 
         rng = random.Random(seed)
         snapshot = zipf_membership(hosts, groups, rng=rng)
@@ -245,7 +246,10 @@ def _obs_overhead_workload(hosts: int, groups: int, events: int) -> Workload:
             group = rng.choice(group_list)
             schedule.append((rng.choice(sorted(snapshot[group])), group))
 
+        monitor: Optional[LiveMonitor] = None
+
         def one(instrumented: bool) -> Any:
+            nonlocal monitor
             env = ExperimentEnv(n_hosts=hosts, seed=seed)
             membership = env.membership_from(snapshot)
             if instrumented:
@@ -256,6 +260,11 @@ def _obs_overhead_workload(hosts: int, groups: int, events: int) -> Workload:
                     registry=MetricsRegistry(),
                     profiler=profiler,
                 )
+                # The full telemetry plane rides along: the streaming
+                # monitors are trace subscribers only, so the determinism
+                # gate below also proves they cannot change outcomes.
+                monitor = LiveMonitor(node="bench", retain_audit=False)
+                monitor.attach(fabric)
             else:
                 fabric = env.build_fabric(membership, seed=seed, trace=False)
             for sender, group in schedule:
@@ -291,6 +300,14 @@ def _obs_overhead_workload(hosts: int, groups: int, events: int) -> Workload:
                 "instrumented_s": instrumented_s,
                 "overhead_ratio": (
                     instrumented_s / bare_s if bare_s > 0 else None
+                ),
+                # Percentile summaries (virtual ms, deterministic) ride
+                # in `extra`, which the regression gate never compares.
+                "monitor_violations": (
+                    monitor.violations if monitor is not None else None
+                ),
+                "phase_latency_ms": (
+                    monitor.latency.summary() if monitor is not None else None
                 ),
             },
         }
@@ -539,6 +556,115 @@ def render_report(report: Dict[str, Any]) -> str:
     if rss:
         lines.append(f"peak RSS: {rss / (1024 * 1024):.1f} MiB")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Baseline history
+# ---------------------------------------------------------------------------
+
+#: Schema tag on every ``BENCH_history.jsonl`` record.
+HISTORY_FORMAT = "repro-bench-history/1"
+
+
+def history_record(
+    report: Dict[str, Any], commit: str = ""
+) -> Dict[str, Any]:
+    """Project one suite report to a compact history line.
+
+    One record per refreshed baseline: suite identity, the commit it was
+    measured at, throughput, and the per-workload wall/phase breakdown —
+    enough to chart performance over the repo's history without keeping
+    every full report.  Deliberately carries no wall-clock timestamp; the
+    commit is the time axis.
+    """
+    totals = report["totals"]
+    wall_s = totals["wall_s"]
+    workloads: Dict[str, Any] = {}
+    for name in sorted(report["workloads"]):
+        workload = report["workloads"][name]
+        entry: Dict[str, Any] = {
+            "wall_s": workload["wall_s"]["min"],
+            "events_per_s": workload.get("events_per_s"),
+        }
+        breakdown = workload.get("breakdown")
+        if breakdown:
+            phases = breakdown["phase_exclusive_s"]
+            total = sum(phases.values())
+            if total > 0:
+                entry["phase_share"] = {
+                    phase: seconds / total
+                    for phase, seconds in phases.items()
+                }
+        workloads[name] = entry
+    return {
+        "format": HISTORY_FORMAT,
+        "suite": report["suite"],
+        "seed": report["config"]["seed"],
+        "commit": commit,
+        "wall_s": wall_s,
+        "events": totals["events"],
+        "messages": totals["messages"],
+        "events_per_s": totals["events"] / wall_s if wall_s > 0 else None,
+        "workloads": workloads,
+    }
+
+
+def append_history(
+    report: Dict[str, Any], path: PathLike, commit: str = ""
+) -> pathlib.Path:
+    """Append :func:`history_record` for ``report`` to a JSONL file."""
+    resolved = pathlib.Path(path)
+    if resolved.parent != pathlib.Path(""):
+        resolved.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(history_record(report, commit=commit), sort_keys=True)
+    with open(resolved, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+    return resolved
+
+
+def read_history(path: PathLike) -> List[Dict[str, Any]]:
+    """Load a ``BENCH_history.jsonl`` file, validating record tags."""
+    records: List[Dict[str, Any]] = []
+    for index, line in enumerate(
+        pathlib.Path(path).read_text().splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("format") != HISTORY_FORMAT:
+            raise ValueError(
+                f"{path}:{index}: unsupported history record format "
+                f"{record.get('format')!r} (expected {HISTORY_FORMAT!r})"
+            )
+        records.append(record)
+    return records
+
+
+def render_history(records: List[Dict[str, Any]]) -> str:
+    """Text table of baseline history, oldest first."""
+    from repro.experiments.common import format_table
+
+    rows = []
+    for record in records:
+        rows.append(
+            [
+                record.get("commit", "")[:12] or "-",
+                record["suite"],
+                record["wall_s"],
+                record["events"],
+                (
+                    f"{record['events_per_s']:.0f}"
+                    if record.get("events_per_s")
+                    else "-"
+                ),
+            ]
+        )
+    return format_table(
+        ["commit", "suite", "wall_s", "events", "events/s"],
+        rows,
+        title=f"{len(records)} baseline record(s), oldest first",
+    )
 
 
 # ---------------------------------------------------------------------------

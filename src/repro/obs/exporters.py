@@ -148,6 +148,7 @@ def write_prometheus(registry: MetricsRegistry, path: PathLike) -> pathlib.Path:
 SEQUENCING_PID = 1
 HOSTS_PID = 2
 PROFILER_PID = 3
+EPOCHS_PID = 4
 
 #: Minimum slice duration (µs) so zero-length hops stay visible.
 MIN_SLICE_US = 1.0
@@ -200,6 +201,115 @@ def profiler_counter_events(profiler) -> List[Dict[str, object]]:
     return events
 
 
+def epoch_events(trace: Trace) -> List[Dict[str, object]]:
+    """Chrome events for online reconfiguration (``epoch_*`` records).
+
+    A dedicated "epochs" process (:data:`EPOCHS_PID`): tid 0 carries one
+    complete (``ph: "X"``) slice per epoch switch spanning its
+    begin/end records (an unmatched ``begin`` — e.g. a trace cut mid
+    switch — degrades to an instant), and each group gets its own fence
+    track (tid = group + 1) with an instant event per ``epoch_fence``
+    record, so the fence publish and its per-host consumptions line up
+    under the switch slice that injected them.
+    """
+    fences: List[TraceRecord] = []
+    switches: List[TraceRecord] = []
+    for record in trace:
+        if record.kind == "epoch_fence":
+            fences.append(record)
+        elif record.kind == "epoch_switch":
+            switches.append(record)
+    if not fences and not switches:
+        return []
+    events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": EPOCHS_PID,
+            "tid": 0,
+            "args": {"name": "epochs"},
+        },
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": EPOCHS_PID,
+            "tid": 0,
+            "args": {"name": "epoch switches"},
+        },
+    ]
+    open_switches: Dict[int, TraceRecord] = {}
+    for record in switches:
+        epoch = record.data["epoch"]
+        if record.data["phase"] == "begin":
+            open_switches[epoch] = record
+            continue
+        begin = open_switches.pop(epoch, None)
+        start = record.time if begin is None else begin.time
+        events.append(
+            {
+                "ph": "X",
+                "name": f"switch to epoch {epoch}",
+                "ts": _us(start),
+                "dur": max(_us(record.time - start), MIN_SLICE_US),
+                "pid": EPOCHS_PID,
+                "tid": 0,
+                "args": {
+                    "epoch": epoch,
+                    "drain_events": record.data.get("drain_events"),
+                },
+            }
+        )
+    for record in open_switches.values():
+        events.append(
+            {
+                "ph": "i",
+                "name": f"switch to epoch {record.data['epoch']} (begin)",
+                "ts": _us(record.time),
+                "pid": EPOCHS_PID,
+                "tid": 0,
+                "s": "t",
+                "args": {"epoch": record.data["epoch"]},
+            }
+        )
+    named_groups = set()
+    for record in fences:
+        group = record.data["group"]
+        tid = group + 1
+        if group not in named_groups:
+            named_groups.add(group)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": EPOCHS_PID,
+                    "tid": tid,
+                    "args": {"name": f"group {group} fences"},
+                }
+            )
+        phase = record.data["phase"]
+        args: Dict[str, object] = {
+            "msg": record.data["msg"],
+            "epoch": record.data["epoch"],
+            "phase": phase,
+        }
+        if phase == "publish":
+            args["sender"] = record.data.get("sender")
+        else:
+            args["host"] = record.data.get("host")
+        events.append(
+            {
+                "ph": "i",
+                "name": f"fence e{record.data['epoch']} ({phase})",
+                "ts": _us(record.time),
+                "pid": EPOCHS_PID,
+                "tid": tid,
+                "s": "t",
+                "args": args,
+            }
+        )
+    return events
+
+
 def trace_to_chrome(trace: Trace, profiler=None) -> Dict[str, object]:
     """Build a Chrome trace-event document from a fabric trace.
 
@@ -213,9 +323,12 @@ def trace_to_chrome(trace: Trace, profiler=None) -> Dict[str, object]:
     message's path across tracks.  Load the result in Perfetto or
     ``chrome://tracing``.
 
-    When a :class:`~repro.obs.profiler.PhaseProfiler` with samples is
-    given, its cumulative phase-time series is appended as counter
-    events on a third process (see :func:`profiler_counter_events`).
+    Traces from online reconfigurations additionally get an "epochs"
+    process with switch slices and per-group fence instants (see
+    :func:`epoch_events`).  When a
+    :class:`~repro.obs.profiler.PhaseProfiler` with samples is given,
+    its cumulative phase-time series is appended as counter events on
+    another process (see :func:`profiler_counter_events`).
     """
     spans = build_spans(trace)
     events: List[Dict[str, object]] = [
@@ -332,6 +445,7 @@ def trace_to_chrome(trace: Trace, profiler=None) -> Dict[str, object]:
                     **flow,
                 }
             )
+    events.extend(epoch_events(trace))
     if profiler is not None:
         events.extend(profiler_counter_events(profiler))
     return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -145,6 +145,52 @@ class Histogram:
         result.append((math.inf, running + self.bucket_counts[-1]))
         return result
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the winning bucket (HDR-style);
+        observations that landed in the ``+Inf`` overflow bucket are
+        reported as the high-water ``max`` — the only honest bound the
+        histogram still has for them.  An empty histogram reports 0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        lower = 0.0
+        for bound, bucket in zip(self.buckets, self.bucket_counts):
+            running += bucket
+            if bucket and running >= target:
+                fraction = 1.0 - (running - target) / bucket
+                estimate = lower + (bound - lower) * fraction
+                # The true maximum is a tighter upper bound than the
+                # bucket edge when every observation sits below it.
+                return min(estimate, self.max) if self.max else estimate
+            lower = bound
+        return self.max
+
+    def merge_counts(self, other: "Histogram") -> None:
+        """Fold another histogram with the identical bucket scheme in.
+
+        This is what makes the fixed-bucket scheme mergeable across
+        nodes: per-bucket counts, ``count``, ``sum``, and ``max`` all
+        combine exactly, so quantiles over the merge are as accurate as
+        over a single histogram observing the union.
+        """
+        if tuple(other.buckets) != self.buckets:
+            raise ValueError(
+                f"bucket schemes differ ({len(other.buckets)} vs "
+                f"{len(self.buckets)} bounds); refusing a lossy merge"
+            )
+        for index, bucket in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket
+        self.count += other.count
+        self.sum += other.sum
+        if other.max > self.max:
+            self.max = other.max
+
 
 class _NullInstrument:
     """Shared no-op stand-in handed out by disabled registries."""
@@ -179,6 +225,12 @@ class _NullInstrument:
 
     def cumulative(self) -> List[Tuple[float, int]]:
         return []
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def merge_counts(self, other: object) -> None:
+        pass
 
 
 NULL_INSTRUMENT = _NullInstrument()

@@ -20,6 +20,19 @@ Wire protocol: one JSON object per line in each direction.
     <- {"ok": true, "records": [{"msg_id": 0, "payload": "hi", ...}]}
     -> {"op": "health"}
     <- {"ok": true, "status": "up", "backend": "asyncio", ...}
+    -> {"op": "metrics"}
+    <- {"ok": true, "snapshot": {"format": "repro-telemetry/1", ...}}
+    -> {"op": "metrics", "format": "prometheus"}
+    <- {"ok": true, "text": "# HELP repro_phase_latency_ms ..."}
+    -> {"op": "monitors"}
+    <- {"ok": true, "alerts": [...], "violations": 0, "warnings": 0}
+
+The ``metrics`` and ``monitors`` verbs are served by a
+:class:`repro.obs.live.LiveMonitor` subscribed to the live fabric's trace
+(re-attached across epoch switches via the bus's fabric-observer hook):
+streaming RT300-class invariant monitors plus per-phase latency
+percentiles.  ``repro top`` renders these snapshots as a refreshing
+operator view; see ``docs/OBSERVABILITY.md``.
 
 Errors come back as ``{"ok": false, "error": "..."}`` and never kill the
 connection.  ``repro serve`` is the CLI entry point; ``repro serve
@@ -38,6 +51,8 @@ import json
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.api import OrderedPubSub, OrderingViolation
+from repro.obs.live import LiveMonitor, TelemetrySnapshot
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["OrderingService", "request", "run_self_test", "serve"]
 
@@ -87,6 +102,15 @@ class OrderingService:
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown = asyncio.Event()
         self.requests_served = 0
+        # Live telemetry plane: streaming invariant monitors + per-phase
+        # latency percentiles, following the bus across epoch switches.
+        # retain_audit=False keeps memory bounded for a long-lived service
+        # (the windowed monitors and histograms are all that accumulate).
+        self.registry = MetricsRegistry()
+        self.monitor = LiveMonitor(
+            node=f"service:{host}", registry=self.registry, retain_audit=False
+        )
+        self.bus.add_fabric_observer(self.monitor.attach)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -153,6 +177,10 @@ class OrderingService:
             return self._health()
         if op == "check":
             return self._check()
+        if op == "metrics":
+            return self._metrics(req)
+        if op == "monitors":
+            return self._monitors()
         if op == "shutdown":
             self._shutdown.set()
             return {"ok": True}
@@ -220,6 +248,27 @@ class OrderingService:
                 sequencing_nodes=len(fabric.node_processes),
             )
         return body
+
+    def _metrics(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Telemetry snapshot — JSON by default, Prometheus text on request."""
+        if req.get("format") == "prometheus":
+            from repro.obs.exporters import registry_to_prometheus
+
+            return {"ok": True, "text": registry_to_prometheus(self.registry)}
+        snapshot = TelemetrySnapshot.from_monitor(self.monitor)
+        return {"ok": True, "snapshot": snapshot.to_dict()}
+
+    def _monitors(self) -> Dict[str, Any]:
+        """The streaming-monitor alert feed and verdict counters."""
+        return {
+            "ok": True,
+            "alerts": [alert.to_dict() for alert in self.monitor.alerts],
+            "alerts_dropped": self.monitor.alerts_dropped,
+            "violations": self.monitor.violations,
+            "warnings": sum(
+                1 for a in self.monitor.alerts if a.severity == "warning"
+            ),
+        }
 
     def _check(self) -> Dict[str, Any]:
         """Re-prove C1/C2 (and channel consistency) over the live fabric.
@@ -339,6 +388,37 @@ async def _self_test_client(port: int) -> List[str]:
         expect(
             resp.get("ok") is True and resp.get("findings") == [],
             f"graph check: {resp}",
+        )
+
+        # Live telemetry: deliveries counted, percentiles populated, and a
+        # clean run must raise zero streaming-monitor violations.
+        resp = await request(reader, writer, {"op": "metrics"})
+        expect(resp.get("ok") is True, f"metrics: {resp}")
+        snap = resp.get("snapshot", {})
+        expect(
+            snap.get("delivered") == 12,
+            f"metrics should count 12 deliveries: {snap.get('delivered')}",
+        )
+        expect(
+            snap.get("violations") == 0,
+            f"clean run raised monitor violations: {snap.get('alerts')}",
+        )
+        delivery = snap.get("phases", {}).get("delivery", {})
+        expect(
+            delivery.get("count") == 12,
+            f"delivery latency histogram should have 12 samples: {delivery}",
+        )
+        resp = await request(
+            reader, writer, {"op": "metrics", "format": "prometheus"}
+        )
+        expect(
+            "repro_phase_latency_ms_bucket" in resp.get("text", ""),
+            "prometheus scrape is missing the phase-latency histogram",
+        )
+        resp = await request(reader, writer, {"op": "monitors"})
+        expect(
+            resp.get("ok") is True and resp.get("violations") == 0,
+            f"monitors: {resp}",
         )
 
         resp = await request(reader, writer, {"op": "shutdown"})

@@ -1,0 +1,111 @@
+"""Baseline history: projection, JSONL round-trip, rendering, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import bench
+
+QUICK_REPORT = "benchmarks/results/BENCH_quick.json"
+
+
+@pytest.fixture(scope="module")
+def report():
+    return bench.read_report(QUICK_REPORT)
+
+
+class TestHistoryRecord:
+    def test_projects_the_suite_totals(self, report):
+        record = bench.history_record(report, commit="abc123")
+        assert record["format"] == bench.HISTORY_FORMAT
+        assert record["suite"] == report["suite"]
+        assert record["commit"] == "abc123"
+        assert record["events"] == report["totals"]["events"]
+        assert record["messages"] == report["totals"]["messages"]
+        assert record["events_per_s"] == pytest.approx(
+            report["totals"]["events"] / report["totals"]["wall_s"]
+        )
+
+    def test_workload_entries_carry_phase_shares(self, report):
+        record = bench.history_record(report)
+        assert set(record["workloads"]) == set(report["workloads"])
+        for entry in record["workloads"].values():
+            shares = entry.get("phase_share")
+            if shares:
+                assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_record_is_json_serializable(self, report):
+        json.dumps(bench.history_record(report))
+
+
+class TestAppendReadRoundTrip:
+    def test_appends_one_line_per_call(self, report, tmp_path):
+        path = tmp_path / "history.jsonl"
+        bench.append_history(report, path, commit="one")
+        bench.append_history(report, path, commit="two")
+        records = bench.read_history(path)
+        assert [r["commit"] for r in records] == ["one", "two"]
+        assert records[0] == bench.history_record(report, commit="one")
+
+    def test_creates_parent_directories(self, report, tmp_path):
+        path = tmp_path / "nested" / "dir" / "history.jsonl"
+        resolved = bench.append_history(report, path)
+        assert resolved.exists()
+
+    def test_read_skips_blank_lines(self, report, tmp_path):
+        path = tmp_path / "history.jsonl"
+        bench.append_history(report, path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n")
+        assert len(bench.read_history(path)) == 1
+
+    def test_read_rejects_foreign_records(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(json.dumps({"format": "bogus/1"}) + "\n")
+        with pytest.raises(ValueError, match="bogus/1"):
+            bench.read_history(path)
+
+
+class TestRenderHistory:
+    def test_table_lists_records_oldest_first(self, report, tmp_path):
+        path = tmp_path / "history.jsonl"
+        bench.append_history(report, path, commit="aaaaaaaaaaaaaaaa")
+        bench.append_history(report, path, commit="bbbbbbbbbbbbbbbb")
+        text = bench.render_history(bench.read_history(path))
+        assert "2 baseline record(s), oldest first" in text
+        # Commits truncated to 12 characters, in append order.
+        assert text.index("aaaaaaaaaaaa") < text.index("bbbbbbbbbbbb")
+        assert "aaaaaaaaaaaaa" not in text
+
+    def test_empty_commit_renders_dash(self, report):
+        text = bench.render_history([bench.history_record(report)])
+        assert "-" in text
+
+
+class TestCli:
+    def test_bench_history_renders_committed_file(self, capsys):
+        assert main(
+            ["bench", "--history", "benchmarks/results/BENCH_history.jsonl"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "baseline record(s)" in out
+
+    def test_bench_history_json_output(self, capsys):
+        assert main(
+            [
+                "bench",
+                "--history", "benchmarks/results/BENCH_history.jsonl",
+                "--format", "json",
+            ]
+        ) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records and all(
+            r["format"] == bench.HISTORY_FORMAT for r in records
+        )
+
+    def test_append_history_cli_round_trip(self, report, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        bench.append_history(report, path, commit="cli")
+        assert main(["bench", "--history", str(path)]) == 0
+        assert "1 baseline record(s)" in capsys.readouterr().out

@@ -239,3 +239,99 @@ class TestChromeFlowEvents:
             assert len(start) == 1
             for event in flow_events:
                 assert event["ts"] >= start[0]
+
+
+@pytest.fixture(scope="module")
+def epoch_trace():
+    """A synthetic trace with the PR 9 reconfiguration record kinds."""
+    trace = Trace()
+    trace.record(10.0, "epoch_switch", phase="begin", epoch=1, groups=2)
+    trace.record(10.5, "epoch_fence", phase="publish", msg=7, group=0,
+                 epoch=1, sender=0)
+    trace.record(11.0, "epoch_fence", phase="publish", msg=8, group=1,
+                 epoch=1, sender=2)
+    trace.record(12.5, "epoch_fence", phase="deliver", msg=7, group=0,
+                 epoch=1, host=1)
+    trace.record(13.0, "epoch_fence", phase="deliver", msg=8, group=1,
+                 epoch=1, host=3)
+    trace.record(14.0, "epoch_switch", phase="end", epoch=1, drain_events=9)
+    trace.record(30.0, "epoch_switch", phase="begin", epoch=2, groups=2)
+    return trace
+
+
+class TestEpochEvents:
+    def test_switch_pairs_become_slices(self, epoch_trace):
+        events = exporters.epoch_events(epoch_trace)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == 1
+        (event,) = slices
+        assert event["pid"] == exporters.EPOCHS_PID
+        assert event["tid"] == 0
+        assert event["ts"] == 10.0 * 1000.0
+        assert event["dur"] == 4.0 * 1000.0
+        assert event["args"] == {"epoch": 1, "drain_events": 9}
+
+    def test_unmatched_begin_degrades_to_instant(self, epoch_trace):
+        events = exporters.epoch_events(epoch_trace)
+        instants = [
+            e for e in events
+            if e["ph"] == "i" and e["name"].startswith("switch")
+        ]
+        assert len(instants) == 1
+        assert instants[0]["args"]["epoch"] == 2
+
+    def test_fences_land_on_their_group_track(self, epoch_trace):
+        events = exporters.epoch_events(epoch_trace)
+        fences = [
+            e for e in events
+            if e["ph"] == "i" and e["name"].startswith("fence")
+        ]
+        assert len(fences) == 4
+        for event in fences:
+            assert event["pid"] == exporters.EPOCHS_PID
+        by_group = {}
+        for event in fences:
+            by_group.setdefault(event["tid"], []).append(event)
+        # tid = group + 1: group 0 -> tid 1, group 1 -> tid 2.
+        assert set(by_group) == {1, 2}
+        publishes = [e for e in fences if e["args"]["phase"] == "publish"]
+        delivers = [e for e in fences if e["args"]["phase"] == "deliver"]
+        assert {e["args"]["sender"] for e in publishes} == {0, 2}
+        assert {e["args"]["host"] for e in delivers} == {1, 3}
+
+    def test_tracks_are_named(self, epoch_trace):
+        events = exporters.epoch_events(epoch_trace)
+        names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] in ("process_name", "thread_name")
+        }
+        assert names[(exporters.EPOCHS_PID, 0)] in ("epochs", "epoch switches")
+        assert names[(exporters.EPOCHS_PID, 1)] == "group 0 fences"
+        assert names[(exporters.EPOCHS_PID, 2)] == "group 1 fences"
+
+    def test_chrome_document_includes_epoch_events(self, epoch_trace):
+        doc = exporters.trace_to_chrome(epoch_trace)
+        pids = {e.get("pid") for e in doc["traceEvents"]}
+        assert exporters.EPOCHS_PID in pids
+
+    def test_epoch_free_trace_emits_no_epoch_process(self, traced_run):
+        fabric, _ = traced_run
+        assert exporters.epoch_events(fabric.trace) == []
+        doc = exporters.trace_to_chrome(fabric.trace)
+        assert exporters.EPOCHS_PID not in {
+            e.get("pid") for e in doc["traceEvents"]
+        }
+
+    def test_epoch_records_round_trip_jsonl_with_types(self, epoch_trace):
+        restored = exporters.trace_from_jsonl(
+            exporters.trace_to_jsonl(epoch_trace)
+        )
+        assert restored == list(epoch_trace)
+        for record in restored:
+            assert isinstance(record.time, float)
+            assert isinstance(record.data["epoch"], int)
+            if record.kind == "epoch_fence":
+                assert isinstance(record.data["msg"], int)
+                assert isinstance(record.data["group"], int)
+                assert record.data["phase"] in ("publish", "deliver")
